@@ -1,0 +1,442 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact), micro-benchmarks for sketching and
+// estimation throughput, and ablation benchmarks for the design choices
+// called out in DESIGN.md.
+//
+// Figure benchmarks run a scaled-down experiment per iteration and report
+// the headline series as custom metrics (err<METHOD>/op), so `go test
+// -bench` output doubles as a quick reproduction check. The full-scale
+// regeneration lives in cmd/experiments.
+package ipsketch_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	ipsketch "repro"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/hashing"
+	"repro/internal/minhash"
+	"repro/internal/vector"
+	"repro/internal/wmh"
+)
+
+// --- Table 1 ---
+
+func BenchmarkTable1Guarantees(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.QuickTable1Config(uint64(i))
+		res, err := experiments.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				b.ReportMetric(row.Ratio[len(row.Ratio)-1], "ratio"+row.Method.String()+"/op")
+			}
+		}
+	}
+}
+
+// --- Figure 4 (one benchmark per panel) ---
+
+func benchFigure4(b *testing.B, overlap float64) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Figure4Config{
+			Overlaps: []float64{overlap},
+			Storages: []int{400},
+			Methods:  ipsketch.PaperMethods(),
+			Trials:   3,
+			Seed:     uint64(i),
+		}
+		res, err := experiments.RunFigure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for mi, m := range cfg.Methods {
+				b.ReportMetric(res.Err[0][0][mi], "err"+m.String()+"/op")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure4_Overlap1(b *testing.B)  { benchFigure4(b, 0.01) }
+func BenchmarkFigure4_Overlap5(b *testing.B)  { benchFigure4(b, 0.05) }
+func BenchmarkFigure4_Overlap10(b *testing.B) { benchFigure4(b, 0.10) }
+func BenchmarkFigure4_Overlap50(b *testing.B) { benchFigure4(b, 0.50) }
+
+// --- Figure 5 ---
+
+func BenchmarkFigure5_WorldBank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.QuickFigure5Config(uint64(i))
+		res, err := experiments.RunFigure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Headline cell: lowest-overlap column, averaged over kurtosis
+			// rows, for each baseline (negative ⇒ WMH wins).
+			for _, bm := range cfg.Baselines {
+				sum, n := 0.0, 0
+				for ri := range cfg.KurtosisBuckets {
+					if res.Count[ri][0] > 0 {
+						sum += res.Diff[bm][ri][0]
+						n++
+					}
+				}
+				if n > 0 {
+					b.ReportMetric(sum/float64(n), "diffWMHvs"+bm.String()+"/op")
+				}
+			}
+		}
+	}
+}
+
+// --- Figure 6 ---
+
+func BenchmarkFigure6_TextSimilarity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.QuickFigure6Config(uint64(i))
+		res, err := experiments.RunFigure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := len(cfg.Storages) - 1
+			for mi, m := range cfg.Methods {
+				b.ReportMetric(res.ErrAll[last][mi], "err"+m.String()+"/op")
+			}
+		}
+	}
+}
+
+// --- Micro-benchmarks: sketching and estimation throughput ---
+
+func paperVectors(b *testing.B, overlap float64) (vector.Sparse, vector.Sparse) {
+	b.Helper()
+	a, v, err := datagen.SyntheticPair(datagen.PaperPairParams(overlap, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, v
+}
+
+func benchSketch(b *testing.B, m ipsketch.Method, storage int) {
+	a, _ := paperVectors(b, 0.1)
+	s, err := ipsketch.NewSketcher(ipsketch.Config{Method: m, StorageWords: storage, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sketch(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSketch_WMH(b *testing.B)         { benchSketch(b, ipsketch.MethodWMH, 400) }
+func BenchmarkSketch_MH(b *testing.B)          { benchSketch(b, ipsketch.MethodMH, 400) }
+func BenchmarkSketch_KMV(b *testing.B)         { benchSketch(b, ipsketch.MethodKMV, 400) }
+func BenchmarkSketch_JL(b *testing.B)          { benchSketch(b, ipsketch.MethodJL, 400) }
+func BenchmarkSketch_CountSketch(b *testing.B) { benchSketch(b, ipsketch.MethodCountSketch, 400) }
+func BenchmarkSketch_ICWS(b *testing.B)        { benchSketch(b, ipsketch.MethodICWS, 400) }
+func BenchmarkSketch_SimHash(b *testing.B)     { benchSketch(b, ipsketch.MethodSimHash, 9) }
+
+func benchEstimate(b *testing.B, m ipsketch.Method, storage int) {
+	av, bv := paperVectors(b, 0.1)
+	s, err := ipsketch.NewSketcher(ipsketch.Config{Method: m, StorageWords: storage, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa, err := s.Sketch(av)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sb, err := s.Sketch(bv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ipsketch.Estimate(sa, sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimate_WMH(b *testing.B)         { benchEstimate(b, ipsketch.MethodWMH, 400) }
+func BenchmarkEstimate_MH(b *testing.B)          { benchEstimate(b, ipsketch.MethodMH, 400) }
+func BenchmarkEstimate_KMV(b *testing.B)         { benchEstimate(b, ipsketch.MethodKMV, 400) }
+func BenchmarkEstimate_JL(b *testing.B)          { benchEstimate(b, ipsketch.MethodJL, 400) }
+func BenchmarkEstimate_CountSketch(b *testing.B) { benchEstimate(b, ipsketch.MethodCountSketch, 400) }
+func BenchmarkEstimate_ICWS(b *testing.B)        { benchEstimate(b, ipsketch.MethodICWS, 400) }
+func BenchmarkEstimate_SimHash(b *testing.B)     { benchEstimate(b, ipsketch.MethodSimHash, 9) }
+
+// --- Ablations (DESIGN.md A1–A5) ---
+
+// A1: FM union estimator (paper Algorithm 5) vs the unit-norm identity
+// M = 2/(1+J̄).
+func BenchmarkAblation_UnionEstimator(b *testing.B) {
+	av, bv := paperVectors(b, 0.1)
+	truth := vector.Dot(av, bv)
+	scale := av.Norm() * bv.Norm()
+	var errFM, errID float64
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := wmh.Params{M: 256, Seed: uint64(i), L: 1 << 22}
+		sa, err := wmh.New(av, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sb, _ := wmh.New(bv, p)
+		fm, err := wmh.EstimateWithOptions(sa, sb, wmh.Options{Union: wmh.FMUnion})
+		if err != nil {
+			b.Fatal(err)
+		}
+		id, _ := wmh.EstimateWithOptions(sa, sb, wmh.Options{Union: wmh.UnitNormIdentity})
+		errFM += math.Abs(fm-truth) / scale
+		errID += math.Abs(id-truth) / scale
+		n++
+	}
+	b.ReportMetric(errFM/float64(n), "errFM/op")
+	b.ReportMetric(errID/float64(n), "errIdentity/op")
+}
+
+// A2: effect of the discretization parameter L (paper §5 "Choice of L":
+// must exceed n, ideally by 100–1000×).
+func BenchmarkAblation_DiscretizationL(b *testing.B) {
+	av, bv := paperVectors(b, 0.1)
+	truth := vector.Dot(av, bv)
+	scale := av.Norm() * bv.Norm()
+	for _, l := range []uint64{1 << 10, 1 << 14, 1 << 22, 1 << 30} {
+		b.Run(fmt.Sprintf("L=2^%d", log2(l)), func(b *testing.B) {
+			sum := 0.0
+			for i := 0; i < b.N; i++ {
+				p := wmh.Params{M: 256, Seed: uint64(i), L: l}
+				sa, err := wmh.New(av, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sb, _ := wmh.New(bv, p)
+				est, err := wmh.Estimate(sa, sb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += math.Abs(est-truth) / scale
+			}
+			b.ReportMetric(sum/float64(b.N), "err/op")
+		})
+	}
+}
+
+// A3: fast active-index record process vs naive O(L) slot hashing. A
+// low-nnz vector makes per-block weights large (w ≈ L/nnz), which is where
+// naive slot hashing pays O(w) and the record process pays O(log w).
+func BenchmarkAblation_FastVsNaive(b *testing.B) {
+	pp := datagen.PaperPairParams(0.1, 1)
+	pp.NNZ = 50
+	av, _, err := datagen.SyntheticPair(pp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := wmh.Params{M: 64, Seed: 1, L: 1 << 16} // small L so naive is feasible
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wmh.New(av, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wmh.NewNaive(av, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// A4: WMH (discretized expansion) vs ICWS (continuous weights) at equal
+// storage.
+func BenchmarkAblation_ICWS(b *testing.B) {
+	av, bv := paperVectors(b, 0.1)
+	truth := vector.Dot(av, bv)
+	scale := av.Norm() * bv.Norm()
+	var errWMH, errICWS float64
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range []ipsketch.Method{ipsketch.MethodWMH, ipsketch.MethodICWS} {
+			s, err := ipsketch.NewSketcher(ipsketch.Config{Method: m, StorageWords: 400, Seed: uint64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sa, _ := s.Sketch(av)
+			sb, _ := s.Sketch(bv)
+			est, err := ipsketch.Estimate(sa, sb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := math.Abs(est-truth) / scale
+			if m == ipsketch.MethodWMH {
+				errWMH += e
+			} else {
+				errICWS += e
+			}
+		}
+		n++
+	}
+	b.ReportMetric(errWMH/float64(n), "errWMH/op")
+	b.ReportMetric(errICWS/float64(n), "errICWS/op")
+}
+
+// A6: full 64-bit values vs 32-bit quantized values at EQUAL storage —
+// quantization buys 50% more samples per word (paper's storage
+// discussion).
+func BenchmarkAblation_Quantization(b *testing.B) {
+	av, bv := paperVectors(b, 0.1)
+	truth := vector.Dot(av, bv)
+	scale := av.Norm() * bv.Norm()
+	var errFull, errQuant float64
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, quantize := range []bool{false, true} {
+			cfg := ipsketch.Config{
+				Method: ipsketch.MethodWMH, StorageWords: 200,
+				Seed: uint64(i), Quantize: quantize,
+			}
+			s, err := ipsketch.NewSketcher(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sa, _ := s.Sketch(av)
+			sb, _ := s.Sketch(bv)
+			est, err := ipsketch.Estimate(sa, sb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := math.Abs(est-truth) / scale
+			if quantize {
+				errQuant += e
+			} else {
+				errFull += e
+			}
+		}
+		n++
+	}
+	b.ReportMetric(errFull/float64(n), "errFull64/op")
+	b.ReportMetric(errQuant/float64(n), "errQuant32/op")
+}
+
+// A7: one-permutation hashing vs m independent hashes — OPH sketches in
+// one pass over the support (the Li–Owen–Zhang speedup, cited in §2).
+func BenchmarkAblation_OPHvsMH(b *testing.B) {
+	av, _ := paperVectors(b, 0.1)
+	const m = 256
+	b.Run("MH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := minhash.New(av, minhash.Params{M: m, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("OPH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := minhash.NewOPH(av, minhash.OPHParams{M: m, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// A8: b-bit truncation — Jaccard estimation error at equal *storage*
+// (1-bit sketches pack 96× more samples per word than full sketches).
+func BenchmarkAblation_BBitJaccard(b *testing.B) {
+	a1, a2, err := datagen.BinaryPair(datagen.PaperPairParams(0.3, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	trueJ := vector.Jaccard(a1, a2)
+	const words = 32 // budget: 32 words
+	var errFull, errBBit float64
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Full sketch: 32 words / 1.5 ≈ 21 samples.
+		pf := minhash.Params{M: 21, Seed: uint64(i)}
+		f1, _ := minhash.New(a1, pf)
+		f2, _ := minhash.New(a2, pf)
+		jf, err := minhash.JaccardEstimate(f1, f2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// 1-bit sketch: 32 words × 64 = 2048 samples.
+		pb := minhash.BBitParams{M: 2048, B: 1, Seed: uint64(i)}
+		b1, _ := minhash.NewBBit(a1, pb)
+		b2, _ := minhash.NewBBit(a2, pb)
+		jb, err := minhash.BBitJaccardEstimate(b1, b2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		errFull += math.Abs(jf - trueJ)
+		errBBit += math.Abs(jb - trueJ)
+		n++
+	}
+	b.ReportMetric(errFull/float64(n), "errFull/op")
+	b.ReportMetric(errBBit/float64(n), "err1bit/op")
+}
+
+// A5: single sketch vs median-of-9 boosting at 9× the storage.
+func BenchmarkAblation_MedianBoost(b *testing.B) {
+	av, bv := paperVectors(b, 0.1)
+	truth := vector.Dot(av, bv)
+	scale := av.Norm() * bv.Norm()
+	var errSingle, errMedian float64
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: 100, Seed: hashing.Mix(uint64(i))}
+		s, err := ipsketch.NewSketcher(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sa, _ := s.Sketch(av)
+		sb, _ := s.Sketch(bv)
+		est, err := ipsketch.Estimate(sa, sb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		errSingle += math.Abs(est-truth) / scale
+
+		ms, err := ipsketch.NewMedianSketcher(cfg, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ma, _ := ms.Sketch(av)
+		mb, _ := ms.Sketch(bv)
+		mest, err := ipsketch.EstimateMedian(ma, mb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		errMedian += math.Abs(mest-truth) / scale
+		n++
+	}
+	b.ReportMetric(errSingle/float64(n), "errSingle/op")
+	b.ReportMetric(errMedian/float64(n), "errMedian9/op")
+}
+
+func log2(x uint64) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,136 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 5) and prints them as text tables, optionally also
+// writing CSV files for plotting.
+//
+// Usage:
+//
+//	experiments [-run all|table1|fig4|fig5|fig6] [-quick] [-seed N] [-csvdir DIR]
+//
+// The -quick flag runs scaled-down configurations (useful for smoke
+// tests); the default configurations mirror the paper's parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "which experiment to run: all, table1, fig4, fig5, fig6, ablation")
+	quick := flag.Bool("quick", false, "use scaled-down configurations")
+	seed := flag.Uint64("seed", 2023, "experiment seed")
+	csvDir := flag.String("csvdir", "", "directory to write CSV outputs (optional)")
+	flag.Parse()
+
+	want := func(name string) bool { return *run == "all" || strings.EqualFold(*run, name) }
+	ran := false
+
+	writeCSV := func(name string, render func(*os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*csvDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := render(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	if want("table1") {
+		ran = true
+		cfg := experiments.PaperTable1Config(*seed)
+		if *quick {
+			cfg = experiments.QuickTable1Config(*seed)
+		}
+		res, err := experiments.RunTable1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.RenderTable1(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		writeCSV("table1.csv", func(f *os.File) error { return experiments.WriteTable1CSV(f, res) })
+	}
+	if want("fig4") {
+		ran = true
+		cfg := experiments.PaperFigure4Config(*seed)
+		if *quick {
+			cfg = experiments.QuickFigure4Config(*seed)
+		}
+		res, err := experiments.RunFigure4(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.RenderFigure4(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		writeCSV("figure4.csv", func(f *os.File) error { return experiments.WriteFigure4CSV(f, res) })
+	}
+	if want("fig5") {
+		ran = true
+		cfg := experiments.PaperFigure5Config(*seed)
+		if *quick {
+			cfg = experiments.QuickFigure5Config(*seed)
+		}
+		res, err := experiments.RunFigure5(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.RenderFigure5(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		writeCSV("figure5.csv", func(f *os.File) error { return experiments.WriteFigure5CSV(f, res) })
+	}
+	if want("fig6") {
+		ran = true
+		cfg := experiments.PaperFigure6Config(*seed)
+		if *quick {
+			cfg = experiments.QuickFigure6Config(*seed)
+		}
+		res, err := experiments.RunFigure6(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.RenderFigure6(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		writeCSV("figure6.csv", func(f *os.File) error { return experiments.WriteFigure6CSV(f, res) })
+	}
+	if want("ablation") {
+		ran = true
+		cfg := experiments.PaperAblationConfig(*seed)
+		if *quick {
+			cfg = experiments.QuickAblationConfig(*seed)
+		}
+		res, err := experiments.RunAblation(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.RenderAblation(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		writeCSV("ablation.csv", func(f *os.File) error { return experiments.WriteAblationCSV(f, res) })
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, table1, fig4, fig5, fig6, ablation)\n", *run)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package ipsketch_test
+
+import (
+	"fmt"
+
+	ipsketch "repro"
+)
+
+// ExampleEstimate sketches two vectors independently and estimates their
+// inner product from the sketches alone.
+func ExampleEstimate() {
+	a, _ := ipsketch.VectorFromMap(1<<32, map[uint64]float64{3: 1.5, 900: -2.0, 77: 4.0})
+	b, _ := ipsketch.VectorFromMap(1<<32, map[uint64]float64{3: 4.0, 777: 0.5, 77: 1.0})
+
+	sk, _ := ipsketch.NewSketcher(ipsketch.Config{
+		Method:       ipsketch.MethodKMV, // KMV is exact on tiny supports
+		StorageWords: 64,
+		Seed:         1,
+	})
+	sa, _ := sk.Sketch(a)
+	sb, _ := sk.Sketch(b)
+	est, _ := ipsketch.Estimate(sa, sb)
+	fmt.Printf("estimate: %.1f, exact: %.1f\n", est, ipsketch.Dot(a, b))
+	// Output: estimate: 10.0, exact: 10.0
+}
+
+// ExampleEstimateJoinStats estimates post-join statistics for the paper's
+// Figure 2 tables without materializing the join.
+func ExampleEstimateJoinStats() {
+	ta, _ := ipsketch.NewTable("T_A",
+		[]uint64{1, 3, 4, 5, 6, 7, 8, 9, 11},
+		map[string][]float64{"V": {6, 2, 6, 1, 4, 2, 2, 8, 3}})
+	tb, _ := ipsketch.NewTable("T_B",
+		[]uint64{2, 4, 5, 8, 10, 11, 12, 15, 16},
+		map[string][]float64{"V": {1, 5, 1, 2, 4, 2.5, 6, 6, 3.7}})
+
+	ts, _ := ipsketch.NewTableSketcher(ipsketch.Config{
+		Method:       ipsketch.MethodKMV,
+		StorageWords: 150,
+		Seed:         3,
+	}, 64)
+	ska, _ := ts.SketchTable(ta)
+	skb, _ := ts.SketchTable(tb)
+	st, _ := ipsketch.EstimateJoinStats(ska, "V", skb, "V")
+	fmt.Printf("SIZE=%.0f SUM_A=%.1f MEAN_A=%.1f\n", st.Size, st.SumA, st.MeanA)
+	// Output: SIZE=4 SUM_A=12.0 MEAN_A=3.0
+}
+
+// ExampleMedianSketcher boosts the success probability of an estimate with
+// the median trick from the paper's Theorem 2 proof.
+func ExampleMedianSketcher() {
+	a, _ := ipsketch.VectorFromMap(1000, map[uint64]float64{1: 2, 2: 3})
+	b, _ := ipsketch.VectorFromMap(1000, map[uint64]float64{1: 5, 2: 1})
+
+	reps, _ := ipsketch.MedianReps(0.01) // failure probability δ = 1%
+	ms, _ := ipsketch.NewMedianSketcher(ipsketch.Config{
+		Method:       ipsketch.MethodKMV,
+		StorageWords: 16,
+		Seed:         1,
+	}, reps)
+	sa, _ := ms.Sketch(a)
+	sb, _ := ms.Sketch(b)
+	est, _ := ipsketch.EstimateMedian(sa, sb)
+	fmt.Printf("estimate: %.1f\n", est)
+	// Output: estimate: 13.0
+}

@@ -1,0 +1,66 @@
+// Join-size estimation: the paper's worked example (Figure 2). Two small
+// tables are sketched; join size, post-join sums and the post-join mean
+// are estimated from the sketches and compared with the exact values
+// printed in the paper: SIZE = 4, SUM(V_A⋈) = 12.0, SUM(V_B⋈) = 10.5,
+// MEAN(V_A⋈) = 3.0.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ipsketch "repro"
+)
+
+func main() {
+	// T_A and T_B exactly as in Figure 2 of the paper.
+	ta, err := ipsketch.NewTable("T_A",
+		[]uint64{1, 3, 4, 5, 6, 7, 8, 9, 11},
+		map[string][]float64{"V": {6, 2, 6, 1, 4, 2, 2, 8, 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb, err := ipsketch.NewTable("T_B",
+		[]uint64{2, 4, 5, 8, 10, 11, 12, 15, 16},
+		map[string][]float64{"V": {1, 5, 1, 2, 4, 2.5, 6, 6, 3.7}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exact, err := ipsketch.ExactJoinStats(ta, "V", tb, "V")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("paper Figure 2 worked example — estimates vs exact")
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "method", "SIZE", "SUM(V_A)", "SUM(V_B)", "MEAN(V_A)")
+	fmt.Printf("%-8s %10.2f %10.2f %10.2f %10.2f\n",
+		"exact", exact.Size, exact.SumA, exact.SumB, exact.MeanA)
+
+	for _, method := range []ipsketch.Method{ipsketch.MethodKMV, ipsketch.MethodWMH, ipsketch.MethodMH} {
+		ts, err := ipsketch.NewTableSketcher(ipsketch.Config{
+			Method:       method,
+			StorageWords: 150, // KMV retains both full key sets → exact
+			Seed:         5,
+		}, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ska, err := ts.SketchTable(ta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		skb, err := ts.SketchTable(tb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := ipsketch.EstimateJoinStats(ska, "V", skb, "V")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v %10.2f %10.2f %10.2f %10.2f\n",
+			method, st.Size, st.SumA, st.SumB, st.MeanA)
+	}
+	fmt.Println("\n(KMV with K ≥ |table| stores the whole key set, so its estimates are exact;")
+	fmt.Println(" sampling estimates on 9-row tables are noisy — sketches shine at scale.)")
+}

@@ -1,0 +1,80 @@
+package ipsketch
+
+import (
+	"testing"
+)
+
+// Fuzz targets for the deserialization attack surface: arbitrary bytes
+// must never panic, and anything that decodes successfully must re-encode
+// and estimate without blowing up. Run with `go test -fuzz FuzzUnmarshal`
+// for continuous fuzzing; under plain `go test` the seed corpus runs.
+
+func FuzzUnmarshalSketch(f *testing.F) {
+	// Seed with valid encodings of every method plus structured garbage.
+	mk := func(m Method, budget int) []byte {
+		v, err := VectorFromMap(1000, map[uint64]float64{1: 2, 30: -4, 999: 0.5})
+		if err != nil {
+			f.Fatal(err)
+		}
+		s, err := NewSketcher(Config{Method: m, StorageWords: budget, Seed: 7})
+		if err != nil {
+			f.Fatal(err)
+		}
+		sk, err := s.Sketch(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := sk.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	for _, m := range Methods() {
+		budget := 32
+		if m == MethodSimHash {
+			budget = 3
+		}
+		f.Add(mk(m, budget))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'I', 'P', 'S', 'K', 1, 0})
+	f.Add([]byte{'I', 'P', 'S', 'K', 1, 200, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sk, err := UnmarshalSketch(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Whatever decoded must round-trip and self-estimate.
+		out, err := sk.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded sketch failed to re-encode: %v", err)
+		}
+		if len(out) == 0 {
+			t.Fatal("re-encoded to nothing")
+		}
+		if _, err := Estimate(sk, sk); err != nil {
+			t.Fatalf("decoded sketch failed self-estimate: %v", err)
+		}
+	})
+}
+
+func FuzzVectorConstruction(f *testing.F) {
+	f.Add(uint64(100), uint64(1), 2.5, uint64(7), -1.0)
+	f.Add(uint64(0), uint64(0), 0.0, uint64(0), 0.0)
+	f.Add(^uint64(0), uint64(5), 1e300, uint64(5), -1e300)
+	f.Fuzz(func(t *testing.T, dim uint64, i1 uint64, v1 float64, i2 uint64, v2 float64) {
+		m := map[uint64]float64{i1: v1, i2: v2}
+		v, err := VectorFromMap(dim, m)
+		if err != nil {
+			return
+		}
+		// A constructed vector must satisfy its invariants.
+		if v.Dim() != dim {
+			t.Fatal("dimension mangled")
+		}
+		_ = v.Norm()
+		_ = Dot(v, v)
+	})
+}

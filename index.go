@@ -1,0 +1,123 @@
+package ipsketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SketchIndex is an in-memory dataset-search catalog: a collection of
+// table sketches that can be ranked against a query table by estimated
+// post-join statistics, without touching the original data. This is the
+// search-side of the paper's §1.2 workflow ("a small-space sketch is
+// precomputed for all data tables in the search set; when the analyst
+// issues a query ... a sketch of her table is compared against these
+// preexisting sketches").
+//
+// All sketches in an index must come from the same TableSketcher (same
+// configuration and key space); Add enforces comparability lazily by
+// letting estimation fail otherwise.
+type SketchIndex struct {
+	entries []*TableSketch
+	byName  map[string]int
+}
+
+// NewSketchIndex returns an empty index.
+func NewSketchIndex() *SketchIndex {
+	return &SketchIndex{byName: map[string]int{}}
+}
+
+// Add registers a table sketch. Re-adding a name replaces the previous
+// sketch.
+func (ix *SketchIndex) Add(ts *TableSketch) error {
+	if ts == nil {
+		return errors.New("ipsketch: nil table sketch")
+	}
+	if pos, ok := ix.byName[ts.Name]; ok {
+		ix.entries[pos] = ts
+		return nil
+	}
+	ix.byName[ts.Name] = len(ix.entries)
+	ix.entries = append(ix.entries, ts)
+	return nil
+}
+
+// Len returns the number of indexed tables.
+func (ix *SketchIndex) Len() int { return len(ix.entries) }
+
+// Get returns the sketch registered under name.
+func (ix *SketchIndex) Get(name string) (*TableSketch, bool) {
+	pos, ok := ix.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return ix.entries[pos], true
+}
+
+// RankBy selects the ranking statistic for Search.
+type RankBy int
+
+// Ranking statistics.
+const (
+	// RankByJoinSize orders candidates by estimated join size — the
+	// "joinability" search of Zhu et al. / Fernandez et al.
+	RankByJoinSize RankBy = iota
+	// RankByAbsCorrelation orders candidates by |estimated post-join
+	// correlation| — the join-correlation search of Santos et al.
+	RankByAbsCorrelation
+	// RankByAbsInnerProduct orders candidates by |estimated post-join
+	// inner product|.
+	RankByAbsInnerProduct
+)
+
+// SearchResult is one ranked candidate.
+type SearchResult struct {
+	// Table and Column identify the candidate.
+	Table, Column string
+	// Score is the ranking statistic (see RankBy).
+	Score float64
+	// Stats are the full estimated join statistics against the query.
+	Stats JoinStats
+}
+
+// Search ranks every (table, column) in the index against the query
+// sketch's column. Candidates whose estimated join size falls below
+// minJoinSize are skipped (tiny joins make ratio statistics meaningless).
+func (ix *SketchIndex) Search(query *TableSketch, queryCol string, by RankBy, minJoinSize float64) ([]SearchResult, error) {
+	if query == nil {
+		return nil, errors.New("ipsketch: nil query sketch")
+	}
+	var out []SearchResult
+	for _, cand := range ix.entries {
+		if cand.Name == query.Name {
+			continue
+		}
+		for _, col := range cand.Columns() {
+			st, err := EstimateJoinStats(query, queryCol, cand, col)
+			if err != nil {
+				return nil, fmt.Errorf("ipsketch: searching %s.%s: %w", cand.Name, col, err)
+			}
+			if st.Size < minJoinSize {
+				continue
+			}
+			var score float64
+			switch by {
+			case RankByJoinSize:
+				score = st.Size
+			case RankByAbsCorrelation:
+				score = math.Abs(st.Correlation)
+			case RankByAbsInnerProduct:
+				score = math.Abs(st.InnerProduct)
+			default:
+				return nil, fmt.Errorf("ipsketch: unknown ranking %d", int(by))
+			}
+			if math.IsNaN(score) {
+				continue
+			}
+			out = append(out, SearchResult{Table: cand.Name, Column: col, Score: score, Stats: st})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}

@@ -1,0 +1,102 @@
+// Package csvtable loads keyed tables from CSV files for the CLI tools:
+// the first column is the join key (arbitrary strings, hashed into the key
+// domain), every other column must parse as float64.
+package csvtable
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/tables"
+)
+
+// Options controls parsing.
+type Options struct {
+	// Name names the resulting table (defaults to "csv").
+	Name string
+	// Columns restricts which value columns are loaded (default: all).
+	Columns []string
+	// Agg reduces duplicate keys (default AggFirst). Applied only when
+	// duplicates exist.
+	Agg tables.Agg
+}
+
+// Load reads a CSV stream with a header row into a Table.
+func Load(r io.Reader, opt Options) (*tables.Table, error) {
+	name := opt.Name
+	if name == "" {
+		name = "csv"
+	}
+	records, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvtable: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("csvtable: %s: need a header row and at least one data row", name)
+	}
+	header := records[0]
+	if len(header) < 2 {
+		return nil, fmt.Errorf("csvtable: %s: need a key column and at least one value column", name)
+	}
+
+	keep := map[string]bool{}
+	for _, c := range opt.Columns {
+		keep[c] = true
+	}
+	type colSpec struct {
+		name string
+		pos  int
+	}
+	var specs []colSpec
+	for ci := 1; ci < len(header); ci++ {
+		if len(keep) == 0 || keep[header[ci]] {
+			specs = append(specs, colSpec{header[ci], ci})
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("csvtable: %s: none of the requested columns %v found", name, opt.Columns)
+	}
+	for c := range keep {
+		found := false
+		for _, s := range specs {
+			if s.name == c {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("csvtable: %s: column %q not found", name, c)
+		}
+	}
+
+	keys := make([]uint64, 0, len(records)-1)
+	cols := make(map[string][]float64, len(specs))
+	for _, s := range specs {
+		cols[s.name] = make([]float64, 0, len(records)-1)
+	}
+	for ri, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("csvtable: %s row %d: %d fields, want %d", name, ri+2, len(rec), len(header))
+		}
+		keys = append(keys, tables.KeyFromString(strings.TrimSpace(rec[0])))
+		for _, s := range specs {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[s.pos]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("csvtable: %s row %d column %q: %w", name, ri+2, s.name, err)
+			}
+			cols[s.name] = append(cols[s.name], v)
+		}
+	}
+	t, err := tables.New(name, keys, cols)
+	if err != nil {
+		return nil, err
+	}
+	if t.HasDuplicateKeys() {
+		if t, err = t.Aggregate(opt.Agg); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,116 @@
+package csvtable
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tables"
+)
+
+const sample = `date,rides,fare
+2022-01-01,100,12.5
+2022-01-02,200,13.0
+2022-01-03,150,11.8
+`
+
+func TestLoadBasic(t *testing.T) {
+	tab, err := Load(strings.NewReader(sample), Options{Name: "taxi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "taxi" || tab.NumRows() != 3 {
+		t.Fatalf("name=%q rows=%d", tab.Name(), tab.NumRows())
+	}
+	names := tab.ColumnNames()
+	if len(names) != 2 || names[0] != "fare" || names[1] != "rides" {
+		t.Fatalf("columns %v", names)
+	}
+	rides, _ := tab.Column("rides")
+	if rides[1] != 200 {
+		t.Fatalf("rides[1] = %v", rides[1])
+	}
+	// Key hashing must match tables.KeyFromString.
+	if tab.Keys()[0] != tables.KeyFromString("2022-01-01") {
+		t.Fatal("key hashing mismatch")
+	}
+}
+
+func TestLoadDefaultName(t *testing.T) {
+	tab, err := Load(strings.NewReader(sample), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "csv" {
+		t.Fatalf("default name %q", tab.Name())
+	}
+}
+
+func TestLoadColumnSubset(t *testing.T) {
+	tab, err := Load(strings.NewReader(sample), Options{Columns: []string{"fare"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.ColumnNames()) != 1 || tab.ColumnNames()[0] != "fare" {
+		t.Fatalf("columns %v", tab.ColumnNames())
+	}
+}
+
+func TestLoadMissingColumn(t *testing.T) {
+	if _, err := Load(strings.NewReader(sample), Options{Columns: []string{"nope"}}); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestLoadDuplicateKeysAggregated(t *testing.T) {
+	dup := `k,v
+a,1
+a,3
+b,10
+`
+	tab, err := Load(strings.NewReader(dup), Options{Agg: tables.AggSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows %d", tab.NumRows())
+	}
+	if tab.HasDuplicateKeys() {
+		t.Fatal("duplicates survived")
+	}
+	v, _ := tab.Column("v")
+	sum := v[0] + v[1]
+	if sum != 14 { // 1+3 aggregated to 4, plus 10
+		t.Fatalf("aggregated values %v", v)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"header only":   "k,v\n",
+		"single column": "k\n1\n",
+		"ragged row":    "k,v\na,1,2\n",
+		"non-numeric":   "k,v\na,xyz\n",
+		"malformed csv": "k,v\n\"a,1\n",
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in), Options{}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoadTrimsWhitespace(t *testing.T) {
+	in := "k,v\n a , 1.5 \n"
+	tab, err := Load(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := tab.Column("v")
+	if v[0] != 1.5 {
+		t.Fatalf("value %v", v[0])
+	}
+	if tab.Keys()[0] != tables.KeyFromString("a") {
+		t.Fatal("key not trimmed")
+	}
+}

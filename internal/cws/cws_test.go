@@ -1,0 +1,249 @@
+package cws
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+func mustSketch(t *testing.T, v vector.Sparse, p Params) *Sketch {
+	t.Helper()
+	s, err := New(v, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randomSparse(rng *hashing.SplitMix64, n uint64, nnz int) vector.Sparse {
+	m := make(map[uint64]float64, nnz)
+	for len(m) < nnz {
+		v := rng.Norm()
+		if v == 0 {
+			continue
+		}
+		m[rng.Uint64n(n)] = v
+	}
+	s, err := vector.FromMap(n, m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestParamsValidate(t *testing.T) {
+	if (Params{M: 0}).Validate() == nil {
+		t.Fatal("M=0 accepted")
+	}
+	v := vector.MustNew(10, []uint64{1}, []float64{1})
+	if _, err := New(v, Params{M: 0}); err == nil {
+		t.Fatal("New accepted invalid params")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	v := vector.MustNew(100, []uint64{1, 5, 9}, []float64{1, -2, 3})
+	p := Params{M: 64, Seed: 7}
+	a, b := mustSketch(t, v, p), mustSketch(t, v, p)
+	for i := range a.idx {
+		if a.idx[i] != b.idx[i] || a.level[i] != b.level[i] || a.vals[i] != b.vals[i] {
+			t.Fatalf("sketches differ at sample %d", i)
+		}
+	}
+}
+
+func TestIdenticalVectorsExactSelfEstimate(t *testing.T) {
+	v := vector.MustNew(1000, []uint64{3, 77, 500}, []float64{2, 4, -25})
+	p := Params{M: 64, Seed: 3}
+	a, b := mustSketch(t, v, p), mustSketch(t, v, p)
+	got, err := Estimate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := v.SquaredNorm()
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("self estimate %v, want exactly %v", got, want)
+	}
+	j, _ := WeightedJaccardEstimate(a, b)
+	if j != 1 {
+		t.Fatalf("self weighted Jaccard %v, want 1", j)
+	}
+}
+
+// TestSamplingProportionalToSquaredWeight: for a single vector, ICWS must
+// sample index j with probability w_j/Σw = ã[j]².
+func TestSamplingProportionalToSquaredWeight(t *testing.T) {
+	// Squared masses: 0.64, 0.32, 0.04 (values 8, sqrt(32), 2 scaled).
+	v := vector.MustNew(10, []uint64{1, 2, 3}, []float64{8, math.Sqrt(32), 2})
+	counts := map[uint64]int{}
+	const trials = 30
+	const m = 512
+	for trial := 0; trial < trials; trial++ {
+		s := mustSketch(t, v, Params{M: m, Seed: uint64(trial)})
+		for _, j := range s.idx {
+			counts[j]++
+		}
+	}
+	total := float64(trials * m)
+	want := map[uint64]float64{1: 0.64, 2: 0.32, 3: 0.04}
+	for j, w := range want {
+		got := float64(counts[j]) / total
+		if math.Abs(got-w) > 0.02 {
+			t.Errorf("index %d sampled with frequency %.4f, want %.4f", j, got, w)
+		}
+	}
+}
+
+// TestCollisionRateIsWeightedJaccard: the defining CWS property, on the
+// exact (un-discretized) normalized squared weights.
+func TestCollisionRateIsWeightedJaccard(t *testing.T) {
+	rng := hashing.NewSplitMix64(11)
+	a := randomSparse(rng, 200, 40)
+	bm := map[uint64]float64{}
+	a.Range(func(i uint64, v float64) bool {
+		if rng.Float64() < 0.6 {
+			bm[i] = v * (0.5 + rng.Float64())
+		}
+		return true
+	})
+	for len(bm) < 50 {
+		bm[rng.Uint64n(200)] = rng.Norm()
+	}
+	b, _ := vector.FromMap(200, bm)
+
+	want := vector.WeightedJaccard(a.Normalize(), b.Normalize())
+	p := Params{M: 8192, Seed: 13}
+	got, err := WeightedJaccardEstimate(mustSketch(t, a, p), mustSketch(t, b, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.025 {
+		t.Fatalf("collision rate %v, want weighted Jaccard %v", got, want)
+	}
+}
+
+func TestEstimateUnbiased(t *testing.T) {
+	rng := hashing.NewSplitMix64(17)
+	a := randomSparse(rng, 300, 50)
+	bm := map[uint64]float64{}
+	a.Range(func(i uint64, v float64) bool {
+		if rng.Float64() < 0.5 {
+			bm[i] = v * (0.5 + rng.Float64())
+		}
+		return true
+	})
+	for len(bm) < 60 {
+		bm[rng.Uint64n(300)] = rng.Norm()
+	}
+	b, _ := vector.FromMap(300, bm)
+	truth := vector.Dot(a, b)
+	scale := a.Norm() * b.Norm()
+
+	const trials = 50
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		p := Params{M: 512, Seed: uint64(trial)}
+		est, err := Estimate(mustSketch(t, a, p), mustSketch(t, b, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	mean := sum / trials
+	if math.Abs(mean-truth)/scale > 0.03 {
+		t.Fatalf("mean estimate %v, want ~%v (scale %v)", mean, truth, scale)
+	}
+}
+
+func TestHeavyEntryCaptured(t *testing.T) {
+	am := map[uint64]float64{0: 100}
+	bm := map[uint64]float64{0: 100}
+	rng := hashing.NewSplitMix64(19)
+	for i := uint64(1); i <= 100; i++ {
+		am[i] = rng.Norm() * 0.1
+		bm[i] = rng.Norm() * 0.1
+	}
+	a, _ := vector.FromMap(1000, am)
+	b, _ := vector.FromMap(1000, bm)
+	truth := vector.Dot(a, b)
+	p := Params{M: 256, Seed: 23}
+	est, err := Estimate(mustSketch(t, a, p), mustSketch(t, b, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth)/truth > 0.2 {
+		t.Fatalf("heavy-entry estimate %v, want ~%v", est, truth)
+	}
+}
+
+func TestEmptyEstimatesZero(t *testing.T) {
+	empty := vector.MustNew(100, nil, nil)
+	v := vector.MustNew(100, []uint64{1}, []float64{5})
+	p := Params{M: 16, Seed: 1}
+	se, sv := mustSketch(t, empty, p), mustSketch(t, v, p)
+	if !se.IsEmpty() {
+		t.Fatal("empty sketch not flagged")
+	}
+	for _, pair := range [][2]*Sketch{{se, sv}, {sv, se}, {se, se}} {
+		got, err := Estimate(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 {
+			t.Fatalf("estimate with empty = %v", got)
+		}
+	}
+}
+
+func TestIncompatibleRejected(t *testing.T) {
+	v := vector.MustNew(100, []uint64{1}, []float64{1})
+	w := vector.MustNew(200, []uint64{1}, []float64{1})
+	a := mustSketch(t, v, Params{M: 16, Seed: 1})
+	cases := map[string]*Sketch{
+		"seed": mustSketch(t, v, Params{M: 16, Seed: 2}),
+		"m":    mustSketch(t, v, Params{M: 32, Seed: 1}),
+		"dim":  mustSketch(t, w, Params{M: 16, Seed: 1}),
+	}
+	for name, other := range cases {
+		if _, err := Estimate(a, other); err == nil {
+			t.Errorf("%s mismatch not rejected", name)
+		}
+		if _, err := WeightedJaccardEstimate(a, other); err == nil {
+			t.Errorf("%s mismatch not rejected by WeightedJaccardEstimate", name)
+		}
+	}
+}
+
+func TestStorageWordsAndAccessors(t *testing.T) {
+	v := vector.MustNew(42, []uint64{1}, []float64{3})
+	p := Params{M: 100, Seed: 9}
+	s := mustSketch(t, v, p)
+	if got := s.StorageWords(); got != 251 {
+		t.Fatalf("StorageWords = %v, want 251", got)
+	}
+	if s.Params() != p || s.Dim() != 42 || s.Norm() != 3 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestScaleInvariance(t *testing.T) {
+	rng := hashing.NewSplitMix64(29)
+	a := randomSparse(rng, 200, 30)
+	b := randomSparse(rng, 200, 30)
+	p := Params{M: 128, Seed: 31}
+	sa, sb := mustSketch(t, a, p), mustSketch(t, b, p)
+	base, err := Estimate(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := mustSketch(t, a.Scale(5), p)
+	got, err := Estimate(scaled, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5*base) > 1e-9*math.Max(1, math.Abs(base)) {
+		t.Fatalf("scale invariance violated: %v vs 5×%v", got, base)
+	}
+}

@@ -1,0 +1,57 @@
+package cws
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/wire"
+)
+
+// MarshalBinary encodes the sketch. Layout: M, Seed, dim, norm, empty,
+// idx, level, vals.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	w.U64(uint64(s.params.M))
+	w.U64(s.params.Seed)
+	w.U64(s.dim)
+	w.F64(s.norm)
+	w.Bool(s.empty)
+	w.U64s(s.idx)
+	w.I64s(s.level)
+	w.F64s(s.vals)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes into s, validating structural invariants.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m := r.U64()
+	seed := r.U64()
+	dim := r.U64()
+	norm := r.F64()
+	empty := r.Bool()
+	idx := r.U64s()
+	level := r.I64s()
+	vals := r.F64s()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("cws: decoding sketch: %w", err)
+	}
+	p := Params{M: int(m), Seed: seed}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if math.IsNaN(norm) || math.IsInf(norm, 0) || norm < 0 {
+		return fmt.Errorf("cws: invalid stored norm %v", norm)
+	}
+	if empty {
+		if len(idx) != 0 || len(level) != 0 || len(vals) != 0 {
+			return errors.New("cws: empty sketch with samples")
+		}
+	} else if len(idx) != int(m) || len(level) != int(m) || len(vals) != int(m) {
+		return fmt.Errorf("cws: sketch has %d/%d/%d samples, want %d",
+			len(idx), len(level), len(vals), m)
+	}
+	*s = Sketch{params: p, dim: dim, norm: norm, empty: empty, idx: idx, level: level, vals: vals}
+	return nil
+}

@@ -1,0 +1,83 @@
+package cws
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := hashing.NewSplitMix64(1)
+	v := randomSparse(rng, 300, 40)
+	p := Params{M: 32, Seed: 7}
+	s := mustSketch(t, v, p)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Params() != p || got.Dim() != s.Dim() || got.Norm() != s.Norm() {
+		t.Fatal("metadata lost")
+	}
+	other := mustSketch(t, v, p)
+	e1, err := Estimate(&got, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := Estimate(s, other)
+	if e1 != e2 {
+		t.Fatalf("decoded estimate %v != original %v", e1, e2)
+	}
+}
+
+func TestSerializeEmpty(t *testing.T) {
+	s := mustSketch(t, vector.MustNew(10, nil, nil), Params{M: 8, Seed: 1})
+	data, _ := s.MarshalBinary()
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsEmpty() {
+		t.Fatal("empty flag lost")
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	rng := hashing.NewSplitMix64(2)
+	v := randomSparse(rng, 100, 10)
+	s := mustSketch(t, v, Params{M: 8, Seed: 1})
+	data, _ := s.MarshalBinary()
+	var got Sketch
+	if err := got.UnmarshalBinary(data[:16]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if err := got.UnmarshalBinary(append(data, 7)); err == nil {
+		t.Fatal("trailing accepted")
+	}
+	// M = 0.
+	bad := append([]byte(nil), data...)
+	for i := 0; i < 8; i++ {
+		bad[i] = 0
+	}
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+	// NaN norm (offset 24..32).
+	bad2 := append([]byte(nil), data...)
+	for i := 24; i < 32; i++ {
+		bad2[i] = 0xFF
+	}
+	if err := got.UnmarshalBinary(bad2); err == nil {
+		t.Fatal("NaN norm accepted")
+	}
+	// Claim empty while carrying samples (offset 32).
+	bad3 := append([]byte(nil), data...)
+	bad3[32] = 1
+	if err := got.UnmarshalBinary(bad3); err == nil {
+		t.Fatal("empty-with-samples accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+
+	ipsketch "repro"
+	"repro/internal/datagen"
+	"repro/internal/hashing"
+	"repro/internal/vector"
+	"repro/internal/wmh"
+)
+
+// AblationConfig parameterizes the WMH design-choice ablations from
+// DESIGN.md: the discretization parameter L (paper §5 "Choice of L"), the
+// weighted-union estimator (Algorithm 5's Flajolet–Martin term vs the
+// unit-norm identity), and 32-bit value quantization at equal storage.
+type AblationConfig struct {
+	// Ls is the discretization sweep (0 means the automatic default).
+	Ls []uint64
+	// Samples is the WMH sample count used by the L and union ablations.
+	Samples int
+	// Storage is the word budget used by the quantization ablation.
+	Storage int
+	// Overlap is the synthetic pair overlap ratio.
+	Overlap float64
+	// Trials is the number of (pair, sketch) trials per point.
+	Trials int
+	// Seed makes the ablation reproducible.
+	Seed uint64
+}
+
+// PaperAblationConfig covers the ranges discussed in the paper's §5.
+func PaperAblationConfig(seed uint64) AblationConfig {
+	return AblationConfig{
+		// n = 10000: L below n (bad), near n, 100×n, 4096×n (default zone).
+		Ls:      []uint64{1 << 10, 1 << 14, 1 << 20, 1 << 25, 0},
+		Samples: 256,
+		Storage: 400,
+		Overlap: 0.10,
+		Trials:  10,
+		Seed:    seed,
+	}
+}
+
+// QuickAblationConfig is a scaled-down configuration for tests.
+func QuickAblationConfig(seed uint64) AblationConfig {
+	cfg := PaperAblationConfig(seed)
+	cfg.Ls = []uint64{1 << 10, 1 << 20}
+	cfg.Trials = 3
+	return cfg
+}
+
+// AblationResult holds the three ablation series.
+type AblationResult struct {
+	Config AblationConfig
+	// ErrByL[k] is the mean scaled error at Ls[k].
+	ErrByL []float64
+	// ErrFMUnion and ErrUnitNormIdentity compare Algorithm 5's union
+	// estimators at the same sketches.
+	ErrFMUnion, ErrUnitNormIdentity float64
+	// ErrFull64 and ErrQuant32 compare value precisions at equal storage.
+	ErrFull64, ErrQuant32 float64
+}
+
+// RunAblation regenerates the ablation table.
+func RunAblation(cfg AblationConfig) (*AblationResult, error) {
+	res := &AblationResult{Config: cfg, ErrByL: make([]float64, len(cfg.Ls))}
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		a, b, err := datagen.SyntheticPair(
+			datagen.PaperPairParams(cfg.Overlap, hashing.Mix(cfg.Seed, uint64(trial), 0xab)))
+		if err != nil {
+			return nil, err
+		}
+		truth := vector.Dot(a, b)
+		scale := a.Norm() * b.Norm()
+		seed := hashing.Mix(cfg.Seed, uint64(trial), 0xcd)
+
+		// (A2) L sweep at fixed samples. Two masking effects must be
+		// avoided to see the discretization bias the paper's "Choice of
+		// L" paragraph warns about: outliers survive any L (they carry
+		// most of the squared mass), and near-orthogonal pairs let a
+		// degenerate sketch "win" by predicting zero. The sweep therefore
+		// uses outlier-free, strongly correlated pairs (the second vector
+		// repeats the first on the shared support), whose true inner
+		// product is large: an L below the non-zero count rounds almost
+		// every entry away and the estimate collapses.
+		flatParams := datagen.PaperPairParams(0.5, hashing.Mix(cfg.Seed, uint64(trial), 0xef))
+		flatParams.OutlierFrac = 0
+		fa, fb0, err := datagen.SyntheticPair(flatParams)
+		if err != nil {
+			return nil, err
+		}
+		fb := correlateOnSharedSupport(fa, fb0)
+		fTruth := vector.Dot(fa, fb)
+		fScale := fa.Norm() * fb.Norm()
+		for k, l := range cfg.Ls {
+			p := wmh.Params{M: cfg.Samples, Seed: seed, L: l}
+			sa, err := wmh.New(fa, p)
+			if err != nil {
+				return nil, err
+			}
+			sb, err := wmh.New(fb, p)
+			if err != nil {
+				return nil, err
+			}
+			est, err := wmh.Estimate(sa, sb)
+			if err != nil {
+				return nil, err
+			}
+			res.ErrByL[k] += abs(est-fTruth) / fScale / float64(cfg.Trials)
+		}
+
+		// (A1) union estimators on one shared pair of sketches.
+		p := wmh.Params{M: cfg.Samples, Seed: seed}
+		sa, err := wmh.New(a, p)
+		if err != nil {
+			return nil, err
+		}
+		sb, err := wmh.New(b, p)
+		if err != nil {
+			return nil, err
+		}
+		fm, err := wmh.EstimateWithOptions(sa, sb, wmh.Options{Union: wmh.FMUnion})
+		if err != nil {
+			return nil, err
+		}
+		id, err := wmh.EstimateWithOptions(sa, sb, wmh.Options{Union: wmh.UnitNormIdentity})
+		if err != nil {
+			return nil, err
+		}
+		res.ErrFMUnion += abs(fm-truth) / scale / float64(cfg.Trials)
+		res.ErrUnitNormIdentity += abs(id-truth) / scale / float64(cfg.Trials)
+
+		// (A6) quantization at equal storage.
+		for _, quantize := range []bool{false, true} {
+			c := ipsketch.Config{
+				Method: ipsketch.MethodWMH, StorageWords: cfg.Storage,
+				Seed: seed, Quantize: quantize,
+			}
+			s, err := ipsketch.NewSketcher(c)
+			if err != nil {
+				return nil, err
+			}
+			qa, err := s.Sketch(a)
+			if err != nil {
+				return nil, err
+			}
+			qb, err := s.Sketch(b)
+			if err != nil {
+				return nil, err
+			}
+			est, err := ipsketch.Estimate(qa, qb)
+			if err != nil {
+				return nil, err
+			}
+			e := abs(est-truth) / scale / float64(cfg.Trials)
+			if quantize {
+				res.ErrQuant32 += e
+			} else {
+				res.ErrFull64 += e
+			}
+		}
+	}
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// correlateOnSharedSupport returns b with its entries on supp(a)∩supp(b)
+// replaced by a's, producing a pair whose inner product is Σ_I a², i.e.
+// large relative to ‖a‖‖b‖.
+func correlateOnSharedSupport(a, b vector.Sparse) vector.Sparse {
+	m := map[uint64]float64{}
+	b.Range(func(i uint64, v float64) bool {
+		if av := a.At(i); av != 0 {
+			m[i] = av
+		} else {
+			m[i] = v
+		}
+		return true
+	})
+	out, err := vector.FromMap(b.Dim(), m)
+	if err != nil {
+		panic("experiments: internal error building correlated pair: " + err.Error())
+	}
+	return out
+}
+
+// RenderAblation writes the ablation tables as text.
+func RenderAblation(w io.Writer, r *AblationResult) error {
+	fmt.Fprintf(w, "Ablations (WMH, %.0f%% overlap, %d trials)\n", r.Config.Overlap*100, r.Config.Trials)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "A2: discretization L\tmean scaled error")
+	for k, l := range r.Config.Ls {
+		label := fmt.Sprintf("L=%d", l)
+		if l == 0 {
+			label = "L=auto(4096·n)"
+		}
+		fmt.Fprintf(tw, "%s\t%.5f\n", label, r.ErrByL[k])
+	}
+	fmt.Fprintln(tw, "A1: union estimator\t")
+	fmt.Fprintf(tw, "Flajolet–Martin (paper)\t%.5f\n", r.ErrFMUnion)
+	fmt.Fprintf(tw, "unit-norm identity\t%.5f\n", r.ErrUnitNormIdentity)
+	fmt.Fprintln(tw, "A6: value precision (equal storage)\t")
+	fmt.Fprintf(tw, "float64 values\t%.5f\n", r.ErrFull64)
+	fmt.Fprintf(tw, "float32 values (+50%% samples)\t%.5f\n", r.ErrQuant32)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteAblationCSV writes ablation,setting,error.
+func WriteAblationCSV(w io.Writer, r *AblationResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ablation", "setting", "mean_scaled_error"}); err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for k, l := range r.Config.Ls {
+		rows = append(rows, []string{"L", strconv.FormatUint(l, 10), strconv.FormatFloat(r.ErrByL[k], 'g', -1, 64)})
+	}
+	rows = append(rows,
+		[]string{"union", "fm", strconv.FormatFloat(r.ErrFMUnion, 'g', -1, 64)},
+		[]string{"union", "identity", strconv.FormatFloat(r.ErrUnitNormIdentity, 'g', -1, 64)},
+		[]string{"precision", "float64", strconv.FormatFloat(r.ErrFull64, 'g', -1, 64)},
+		[]string{"precision", "float32", strconv.FormatFloat(r.ErrQuant32, 'g', -1, 64)},
+	)
+	for _, rec := range rows {
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

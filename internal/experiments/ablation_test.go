@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunAblationQuick(t *testing.T) {
+	res, err := RunAblation(QuickAblationConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, e := range res.ErrByL {
+		if math.IsNaN(e) || e < 0 {
+			t.Fatalf("invalid L-sweep error at %d: %v", k, e)
+		}
+	}
+	// The paper's guidance: L below n (here 2^10 < 10000) must be worse
+	// than a comfortably large L (2^20).
+	if res.ErrByL[0] <= res.ErrByL[1] {
+		t.Errorf("tiny L error %.5f not above large L error %.5f", res.ErrByL[0], res.ErrByL[1])
+	}
+	for name, e := range map[string]float64{
+		"fm": res.ErrFMUnion, "identity": res.ErrUnitNormIdentity,
+		"full": res.ErrFull64, "quant": res.ErrQuant32,
+	} {
+		if math.IsNaN(e) || e < 0 || e > 1 {
+			t.Errorf("%s error out of range: %v", name, e)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := RenderAblation(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"A2", "A1", "A6", "Flajolet"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := WriteAblationCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 1+len(res.Config.Ls)+4 {
+		t.Fatalf("CSV has %d lines", lines)
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	ipsketch "repro"
+	"repro/internal/datagen"
+	"repro/internal/hashing"
+)
+
+// Figure4Config parameterizes the synthetic-data experiment of Figure 4:
+// inner-product estimation error versus storage size at four support
+// overlap ratios.
+type Figure4Config struct {
+	// Overlaps are the panel overlap ratios (paper: 1%, 5%, 10%, 50%).
+	Overlaps []float64
+	// Storages is the storage-size sweep in 64-bit words.
+	Storages []int
+	// Methods are the sketches to compare.
+	Methods []ipsketch.Method
+	// Trials is the number of independent (pair, sketch) trials averaged
+	// per point (paper: 10).
+	Trials int
+	// Seed makes the experiment reproducible.
+	Seed uint64
+}
+
+// PaperFigure4Config reproduces the paper's configuration.
+func PaperFigure4Config(seed uint64) Figure4Config {
+	return Figure4Config{
+		Overlaps: []float64{0.01, 0.05, 0.10, 0.50},
+		Storages: []int{100, 200, 300, 400},
+		Methods:  ipsketch.PaperMethods(),
+		Trials:   10,
+		Seed:     seed,
+	}
+}
+
+// QuickFigure4Config is a scaled-down configuration for tests and -short
+// benchmark runs.
+func QuickFigure4Config(seed uint64) Figure4Config {
+	return Figure4Config{
+		Overlaps: []float64{0.01, 0.50},
+		Storages: []int{100, 400},
+		Methods:  ipsketch.PaperMethods(),
+		Trials:   3,
+		Seed:     seed,
+	}
+}
+
+// Figure4Result holds mean scaled errors indexed
+// [overlap][storage][method].
+type Figure4Result struct {
+	Config Figure4Config
+	Err    [][][]float64
+}
+
+// RunFigure4 regenerates Figure 4.
+func RunFigure4(cfg Figure4Config) (*Figure4Result, error) {
+	res := &Figure4Result{Config: cfg}
+	res.Err = make([][][]float64, len(cfg.Overlaps))
+	for oi, overlap := range cfg.Overlaps {
+		res.Err[oi] = make([][]float64, len(cfg.Storages))
+		for si := range cfg.Storages {
+			res.Err[oi][si] = make([]float64, len(cfg.Methods))
+		}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			pp := datagen.PaperPairParams(overlap, hashing.Mix(cfg.Seed, uint64(oi), uint64(trial)))
+			a, b, err := datagen.SyntheticPair(pp)
+			if err != nil {
+				return nil, err
+			}
+			for si, storage := range cfg.Storages {
+				for mi, m := range cfg.Methods {
+					e, err := ScaledError(m, storage,
+						hashing.Mix(cfg.Seed, uint64(oi), uint64(trial), uint64(si)), a, b)
+					if err != nil {
+						return nil, fmt.Errorf("figure4 overlap=%v method=%v: %w", overlap, m, err)
+					}
+					res.Err[oi][si][mi] += e / float64(cfg.Trials)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// MeanError returns the averaged error for (overlap index, storage index,
+// method).
+func (r *Figure4Result) MeanError(oi, si int, m ipsketch.Method) float64 {
+	for mi, mm := range r.Config.Methods {
+		if mm == m {
+			return r.Err[oi][si][mi]
+		}
+	}
+	return -1
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	ipsketch "repro"
+	"repro/internal/hashing"
+	"repro/internal/vector"
+	"repro/internal/worldbank"
+)
+
+// Figure5Config parameterizes the World Bank winning-table experiment:
+// column pairs bucketed by key overlap (columns) and value kurtosis
+// (rows); each cell reports mean(err_WMH − err_other).
+type Figure5Config struct {
+	// Lake configures the simulated data lake.
+	Lake worldbank.LakeParams
+	// MaxPairs bounds the number of column pairs (paper: 5000).
+	MaxPairs int
+	// Storage is the fixed sketch size in words (paper: 400).
+	Storage int
+	// OverlapBuckets are the column buckets (key-set Jaccard).
+	OverlapBuckets []Bucket
+	// KurtosisBuckets are the row buckets (max column kurtosis).
+	KurtosisBuckets []Bucket
+	// Baselines are the methods compared against WMH (paper: JL and MH).
+	Baselines []ipsketch.Method
+	// Trials is the number of sketch seeds averaged per pair.
+	Trials int
+	// Seed makes the experiment reproducible.
+	Seed uint64
+}
+
+// PaperFigure5Config reproduces the scale of the paper's experiment.
+func PaperFigure5Config(seed uint64) Figure5Config {
+	return Figure5Config{
+		Lake:     worldbank.PaperLakeParams(seed),
+		MaxPairs: 5000,
+		Storage:  400,
+		OverlapBuckets: []Bucket{
+			{0, 0.05}, {0.05, 0.25}, {0.25, 0.5}, {0.5, 0.75}, {0.75, 1.0000001},
+		},
+		KurtosisBuckets: []Bucket{
+			{0, 3}, {3, 10}, {10, 50}, {50, math.Inf(1)},
+		},
+		Baselines: []ipsketch.Method{ipsketch.MethodJL, ipsketch.MethodMH},
+		Trials:    3,
+		Seed:      seed,
+	}
+}
+
+// QuickFigure5Config is a scaled-down configuration for tests.
+func QuickFigure5Config(seed uint64) Figure5Config {
+	cfg := PaperFigure5Config(seed)
+	cfg.Lake.NumTables = 14
+	cfg.Lake.MaxRows = 300
+	cfg.Lake.Universe = 1500
+	cfg.MaxPairs = 150
+	cfg.Trials = 1
+	return cfg
+}
+
+// Figure5Result holds, per baseline, the mean error difference
+// (err_WMH − err_baseline) per [kurtosis bucket][overlap bucket], plus the
+// pair count per cell. Negative cells mean WMH wins.
+type Figure5Result struct {
+	Config Figure5Config
+	// Diff[baseline][row][col]; Count[row][col].
+	Diff  map[ipsketch.Method][][]float64
+	Count [][]int
+	// Marginals matching the paper's §1.2 claims about the overlap
+	// distribution of real data-lake pairs.
+	PairsTotal       int
+	FracOverlapLE01  float64
+	FracOverlapLE005 float64
+}
+
+// RunFigure5 regenerates Figure 5. Following the paper's deployment model,
+// every column is sketched once per (method, trial) and the sketches are
+// reused across all pairs the column appears in.
+func RunFigure5(cfg Figure5Config) (*Figure5Result, error) {
+	lake, err := worldbank.GenerateLake(cfg.Lake)
+	if err != nil {
+		return nil, err
+	}
+	columns, err := worldbank.Columns(lake, cfg.Lake.Universe)
+	if err != nil {
+		return nil, err
+	}
+	pairs := worldbank.Pairs(columns, cfg.MaxPairs, cfg.Seed)
+	vecs := make([]vector.Sparse, len(columns))
+	for i, c := range columns {
+		vecs[i] = c.Vec
+	}
+
+	// Accumulate per-pair mean errors per method across trials.
+	methods := append([]ipsketch.Method{ipsketch.MethodWMH}, cfg.Baselines...)
+	pairErr := map[ipsketch.Method][]float64{}
+	for _, m := range methods {
+		pairErr[m] = make([]float64, len(pairs))
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		for _, m := range methods {
+			sketches, err := SketchAll(m, cfg.Storage,
+				hashing.Mix(cfg.Seed, uint64(m), uint64(trial)), vecs)
+			if err != nil {
+				return nil, fmt.Errorf("figure5 method %v: %w", m, err)
+			}
+			for pi, pr := range pairs {
+				e, err := PairScaledError(sketches[pr.I], sketches[pr.J], vecs[pr.I], vecs[pr.J])
+				if err != nil {
+					return nil, fmt.Errorf("figure5 pair %d method %v: %w", pi, m, err)
+				}
+				pairErr[m][pi] += e / float64(cfg.Trials)
+			}
+		}
+	}
+
+	// Bucket the per-pair differences.
+	rows, cols := len(cfg.KurtosisBuckets), len(cfg.OverlapBuckets)
+	res := &Figure5Result{
+		Config: cfg,
+		Diff:   map[ipsketch.Method][][]float64{},
+		Count:  make([][]int, rows),
+	}
+	sums := map[ipsketch.Method][][]float64{}
+	for _, b := range cfg.Baselines {
+		res.Diff[b] = make([][]float64, rows)
+		sums[b] = make([][]float64, rows)
+		for r := 0; r < rows; r++ {
+			res.Diff[b][r] = make([]float64, cols)
+			sums[b][r] = make([]float64, cols)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		res.Count[r] = make([]int, cols)
+	}
+	nLE01, nLE005 := 0, 0
+	for pi, pr := range pairs {
+		if pr.Overlap <= 0.1 {
+			nLE01++
+		}
+		if pr.Overlap <= 0.05 {
+			nLE005++
+		}
+		row := FindBucket(cfg.KurtosisBuckets, pr.Kurtosis)
+		col := FindBucket(cfg.OverlapBuckets, pr.Overlap)
+		if row < 0 || col < 0 {
+			continue
+		}
+		res.Count[row][col]++
+		for _, bm := range cfg.Baselines {
+			sums[bm][row][col] += pairErr[ipsketch.MethodWMH][pi] - pairErr[bm][pi]
+		}
+	}
+	for _, bm := range cfg.Baselines {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if res.Count[r][c] > 0 {
+					res.Diff[bm][r][c] = sums[bm][r][c] / float64(res.Count[r][c])
+				} else {
+					res.Diff[bm][r][c] = math.NaN()
+				}
+			}
+		}
+	}
+	res.PairsTotal = len(pairs)
+	if len(pairs) > 0 {
+		res.FracOverlapLE01 = float64(nLE01) / float64(len(pairs))
+		res.FracOverlapLE005 = float64(nLE005) / float64(len(pairs))
+	}
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	ipsketch "repro"
+	"repro/internal/corpus"
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+// Figure6Config parameterizes the text-similarity experiment: cosine
+// estimation error over TF-IDF document vectors, versus storage, for all
+// documents (panel a) and for documents longer than LongDocWords words
+// (panel b).
+type Figure6Config struct {
+	// Corpus configures the simulated 20-newsgroups corpus.
+	Corpus corpus.Params
+	// Dim is the hashed TF-IDF feature dimension.
+	Dim uint64
+	// Storages is the storage sweep in words (paper: up to 400).
+	Storages []int
+	// Methods are the sketches to compare.
+	Methods []ipsketch.Method
+	// MaxPairs bounds the number of document pairs per panel.
+	MaxPairs int
+	// LongDocWords is the panel-b length threshold (paper: 700).
+	LongDocWords int
+	// Trials is the number of sketch seeds averaged per (pair, storage).
+	Trials int
+	// Seed makes the experiment reproducible.
+	Seed uint64
+}
+
+// PaperFigure6Config mirrors the paper's configuration at a tractable
+// pair count (the paper estimates 200k pairs of 700 docs; sketches are
+// computed once per document, so pairs are cheap — we evaluate 20k).
+func PaperFigure6Config(seed uint64) Figure6Config {
+	return Figure6Config{
+		Corpus:       corpus.PaperParams(seed),
+		Dim:          corpus.DefaultDim,
+		Storages:     []int{100, 200, 300, 400},
+		Methods:      ipsketch.PaperMethods(),
+		MaxPairs:     20000,
+		LongDocWords: 700,
+		Trials:       3,
+		Seed:         seed,
+	}
+}
+
+// QuickFigure6Config is a scaled-down configuration for tests.
+func QuickFigure6Config(seed uint64) Figure6Config {
+	cfg := PaperFigure6Config(seed)
+	cfg.Corpus.NumDocs = 60
+	cfg.Corpus.VocabSize = 2000
+	cfg.Storages = []int{100, 400}
+	cfg.MaxPairs = 40
+	cfg.Trials = 1
+	return cfg
+}
+
+// Figure6Result holds mean cosine-estimation errors indexed
+// [storage][method], for both panels.
+type Figure6Result struct {
+	Config Figure6Config
+	// ErrAll is panel (a): all document pairs.
+	ErrAll [][]float64
+	// ErrLong is panel (b): pairs where both documents exceed the length
+	// threshold.
+	ErrLong [][]float64
+	// PairsAll and PairsLong are the pair counts behind each panel.
+	PairsAll, PairsLong int
+}
+
+// RunFigure6 regenerates Figure 6.
+func RunFigure6(cfg Figure6Config) (*Figure6Result, error) {
+	docs, err := corpus.Generate(cfg.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	vz, err := corpus.NewVectorizer(docs, cfg.Dim)
+	if err != nil {
+		return nil, err
+	}
+	vecs := make([]vector.Sparse, len(docs))
+	for i, d := range docs {
+		if vecs[i], err = vz.Vector(d); err != nil {
+			return nil, err
+		}
+	}
+
+	// Enumerate pairs, shuffle deterministically, take the first MaxPairs
+	// for panel (a) and the first MaxPairs long-doc pairs for panel (b).
+	type pr struct{ i, j int }
+	var all, long []pr
+	for i := 0; i < len(docs); i++ {
+		for j := i + 1; j < len(docs); j++ {
+			all = append(all, pr{i, j})
+			if docs[i].Len() > cfg.LongDocWords && docs[j].Len() > cfg.LongDocWords {
+				long = append(long, pr{i, j})
+			}
+		}
+	}
+	rng := hashing.NewSplitMix64(hashing.Mix(cfg.Seed, 0x663661 /* "f6a" */))
+	hashing.Shuffle(rng, all)
+	hashing.Shuffle(rng, long)
+	if cfg.MaxPairs > 0 && len(all) > cfg.MaxPairs {
+		all = all[:cfg.MaxPairs]
+	}
+	if cfg.MaxPairs > 0 && len(long) > cfg.MaxPairs {
+		long = long[:cfg.MaxPairs]
+	}
+
+	// Sketch every document once per (storage, method, trial) and reuse
+	// the sketches across all pairs — the paper's deployment model.
+	res := &Figure6Result{Config: cfg, PairsAll: len(all), PairsLong: len(long)}
+	res.ErrAll = make([][]float64, len(cfg.Storages))
+	res.ErrLong = make([][]float64, len(cfg.Storages))
+	for si := range cfg.Storages {
+		res.ErrAll[si] = make([]float64, len(cfg.Methods))
+		res.ErrLong[si] = make([]float64, len(cfg.Methods))
+	}
+	for si, storage := range cfg.Storages {
+		for mi, m := range cfg.Methods {
+			for trial := 0; trial < cfg.Trials; trial++ {
+				sketches, err := SketchAll(m, storage,
+					hashing.Mix(cfg.Seed, uint64(si), uint64(m), uint64(trial)), vecs)
+				if err != nil {
+					return nil, fmt.Errorf("figure6 method %v: %w", m, err)
+				}
+				accumulate := func(pairs []pr, into *float64) error {
+					if len(pairs) == 0 {
+						return nil
+					}
+					for _, p := range pairs {
+						e, err := PairScaledError(sketches[p.i], sketches[p.j], vecs[p.i], vecs[p.j])
+						if err != nil {
+							return fmt.Errorf("figure6 pair (%d,%d) method %v: %w", p.i, p.j, m, err)
+						}
+						*into += e / float64(len(pairs)*cfg.Trials)
+					}
+					return nil
+				}
+				if err := accumulate(all, &res.ErrAll[si][mi]); err != nil {
+					return nil, err
+				}
+				if err := accumulate(long, &res.ErrLong[si][mi]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return res, nil
+}

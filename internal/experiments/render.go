@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+)
+
+// This file renders experiment results as aligned text tables (for the
+// terminal) and CSV (for plotting).
+
+// RenderFigure4 writes one text table per overlap panel.
+func RenderFigure4(w io.Writer, r *Figure4Result) error {
+	for oi, overlap := range r.Config.Overlaps {
+		fmt.Fprintf(w, "Figure 4: inner product estimation, %.0f%% overlap (mean scaled error, %d trials)\n",
+			overlap*100, r.Config.Trials)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "storage")
+		for _, m := range r.Config.Methods {
+			fmt.Fprintf(tw, "\t%s", m)
+		}
+		fmt.Fprintln(tw)
+		for si, storage := range r.Config.Storages {
+			fmt.Fprintf(tw, "%d", storage)
+			for mi := range r.Config.Methods {
+				fmt.Fprintf(tw, "\t%.5f", r.Err[oi][si][mi])
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteFigure4CSV writes the long-form CSV: overlap,storage,method,error.
+func WriteFigure4CSV(w io.Writer, r *Figure4Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"overlap", "storage", "method", "mean_scaled_error"}); err != nil {
+		return err
+	}
+	for oi, overlap := range r.Config.Overlaps {
+		for si, storage := range r.Config.Storages {
+			for mi, m := range r.Config.Methods {
+				rec := []string{
+					strconv.FormatFloat(overlap, 'g', -1, 64),
+					strconv.Itoa(storage),
+					m.String(),
+					strconv.FormatFloat(r.Err[oi][si][mi], 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderFigure5 writes one winning table per baseline. Negative cells mean
+// WMH beats the baseline in that (kurtosis, overlap) bucket.
+func RenderFigure5(w io.Writer, r *Figure5Result) error {
+	fmt.Fprintf(w, "Figure 5: World Bank winning tables (%d pairs; %.0f%% with overlap ≤ 0.1, %.0f%% ≤ 0.05)\n",
+		r.PairsTotal, 100*r.FracOverlapLE01, 100*r.FracOverlapLE005)
+	for _, bm := range r.Config.Baselines {
+		fmt.Fprintf(w, "\nWMH error minus %s error (negative ⇒ WMH wins); rows = kurtosis, cols = overlap\n", bm)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "kurtosis\\overlap")
+		for _, ob := range r.Config.OverlapBuckets {
+			fmt.Fprintf(tw, "\t%s", ob.Label())
+		}
+		fmt.Fprintln(tw)
+		for ri, kb := range r.Config.KurtosisBuckets {
+			fmt.Fprint(tw, kb.Label())
+			for ci := range r.Config.OverlapBuckets {
+				if r.Count[ri][ci] == 0 {
+					fmt.Fprint(tw, "\t—")
+				} else {
+					fmt.Fprintf(tw, "\t%+.4f(n=%d)", r.Diff[bm][ri][ci], r.Count[ri][ci])
+				}
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteFigure5CSV writes baseline,kurtosis_bucket,overlap_bucket,diff,count.
+func WriteFigure5CSV(w io.Writer, r *Figure5Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"baseline", "kurtosis_bucket", "overlap_bucket", "wmh_minus_baseline", "pairs"}); err != nil {
+		return err
+	}
+	for _, bm := range r.Config.Baselines {
+		for ri, kb := range r.Config.KurtosisBuckets {
+			for ci, ob := range r.Config.OverlapBuckets {
+				rec := []string{
+					bm.String(), kb.Label(), ob.Label(),
+					strconv.FormatFloat(r.Diff[bm][ri][ci], 'g', -1, 64),
+					strconv.Itoa(r.Count[ri][ci]),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderFigure6 writes the two text panels.
+func RenderFigure6(w io.Writer, r *Figure6Result) error {
+	panels := []struct {
+		name  string
+		pairs int
+		err   [][]float64
+	}{
+		{"(a) all documents", r.PairsAll, r.ErrAll},
+		{fmt.Sprintf("(b) documents > %d words", r.Config.LongDocWords), r.PairsLong, r.ErrLong},
+	}
+	for _, p := range panels {
+		fmt.Fprintf(w, "Figure 6 %s: cosine estimation (mean scaled error over %d pairs)\n", p.name, p.pairs)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "storage")
+		for _, m := range r.Config.Methods {
+			fmt.Fprintf(tw, "\t%s", m)
+		}
+		fmt.Fprintln(tw)
+		for si, storage := range r.Config.Storages {
+			fmt.Fprintf(tw, "%d", storage)
+			for mi := range r.Config.Methods {
+				fmt.Fprintf(tw, "\t%.5f", p.err[si][mi])
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteFigure6CSV writes panel,storage,method,error,pairs.
+func WriteFigure6CSV(w io.Writer, r *Figure6Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"panel", "storage", "method", "mean_scaled_error", "pairs"}); err != nil {
+		return err
+	}
+	write := func(panel string, errs [][]float64, pairs int) error {
+		for si, storage := range r.Config.Storages {
+			for mi, m := range r.Config.Methods {
+				rec := []string{
+					panel, strconv.Itoa(storage), m.String(),
+					strconv.FormatFloat(errs[si][mi], 'g', -1, 64),
+					strconv.Itoa(pairs),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := write("all", r.ErrAll, r.PairsAll); err != nil {
+		return err
+	}
+	if err := write("long", r.ErrLong, r.PairsLong); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderTable1 writes the guarantee-verification table.
+func RenderTable1(w io.Writer, r *Table1Result) error {
+	fmt.Fprintf(w, "Table 1 verification: measured error × √m / bound (should be O(1) and flat in m)\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "method\tbound")
+	for _, s := range r.Config.Storages {
+		fmt.Fprintf(tw, "\tm@%dw", s)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s", row.Method, row.Bound)
+		for _, ratio := range row.Ratio {
+			fmt.Fprintf(tw, "\t%.3f", ratio)
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteTable1CSV writes method,bound,storage,ratio.
+func WriteTable1CSV(w io.Writer, r *Table1Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "bound", "storage", "err_sqrtm_over_bound"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for si, storage := range r.Config.Storages {
+			rec := []string{
+				row.Method.String(), row.Bound,
+				strconv.Itoa(storage),
+				strconv.FormatFloat(row.Ratio[si], 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,154 @@
+package hashing
+
+import "math/bits"
+
+// The sketches in this repository follow the paper's practical choice of
+// 2-wise independent (Carter–Wegman) hash functions h(x) = (a·x + b) mod p
+// mapped to the unit interval. The paper uses the 31-bit Mersenne prime
+// because its vectors live in {1..n} with n ≤ 2^31; our Weighted MinHash
+// implementation conceptually hashes the expanded domain {1..n·L} with
+// L ≫ n, so we default to the 61-bit Mersenne prime 2^61−1, which covers
+// domains up to ~2.3·10^18. A 31-bit family is kept for paper-fidelity
+// storage experiments.
+
+const (
+	// Mersenne61 is the prime 2^61 − 1 used as the default hash field.
+	Mersenne61 uint64 = (1 << 61) - 1
+	// Mersenne31 is the prime 2^31 − 1 used by the paper's experiments.
+	Mersenne31 uint64 = (1 << 31) - 1
+)
+
+// reduce61 reduces a 122-bit product (hi, lo as returned by bits.Mul64) to
+// its value modulo 2^61 − 1, using 2^61 ≡ 1 (mod p).
+func reduce61(hi, lo uint64) uint64 {
+	// product = q·2^61 + r with r = lo & p and q = product >> 61.
+	// Since both operands are < 2^61, product < 2^122 and q < 2^61.
+	r := lo & Mersenne61
+	q := (lo >> 61) | (hi << 3)
+	s := r + q
+	if s >= Mersenne61 {
+		s -= Mersenne61
+	}
+	return s
+}
+
+// mulMod61 returns a·b mod 2^61−1 for a, b < 2^61−1.
+func mulMod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return reduce61(hi, lo)
+}
+
+// addMod61 returns a+b mod 2^61−1 for a, b < 2^61−1.
+func addMod61(a, b uint64) uint64 {
+	s := a + b // < 2^62, no overflow
+	if s >= Mersenne61 {
+		s -= Mersenne61
+	}
+	return s
+}
+
+// Pairwise is a 2-wise independent hash function over the field GF(2^61−1):
+// h(x) = (a·x + b) mod (2^61 − 1), with a ∈ [1, p−1], b ∈ [0, p−1].
+//
+// For any x ≠ y, the pair (h(x), h(y)) is uniform over the field squared,
+// which is the independence level assumed by the paper's experiments
+// (following prior MinHash implementations).
+type Pairwise struct {
+	a, b uint64
+}
+
+// NewPairwise draws a random function from the family using rng.
+func NewPairwise(rng *SplitMix64) Pairwise {
+	return Pairwise{
+		a: 1 + rng.Uint64n(Mersenne61-1), // uniform in [1, p−1]
+		b: rng.Uint64n(Mersenne61),       // uniform in [0, p−1]
+	}
+}
+
+// Hash returns h(x) ∈ [0, 2^61−1).
+func (h Pairwise) Hash(x uint64) uint64 {
+	// Reduce x first so the multiply stays within the 61-bit field.
+	x = (x >> 61) + (x & Mersenne61)
+	if x >= Mersenne61 {
+		x -= Mersenne61
+	}
+	return addMod61(mulMod61(h.a, x), h.b)
+}
+
+// Unit returns h(x) mapped to the open unit interval (0, 1]:
+// (h(x)+1) / p. Distinct hash outputs map to distinct floats whenever the
+// field values differ in their top 53 bits; Unit is used where a real-valued
+// uniform hash is required (e.g. union-size estimation).
+func (h Pairwise) Unit(x uint64) float64 {
+	return float64(h.Hash(x)+1) / float64(Mersenne61)
+}
+
+// Pairwise31 is the paper's exact experimental family: a 2-wise independent
+// hash to {0, ..., 2^31−2} stored in 32 bits.
+type Pairwise31 struct {
+	a, b uint64
+}
+
+// NewPairwise31 draws a random function from the 31-bit family.
+func NewPairwise31(rng *SplitMix64) Pairwise31 {
+	return Pairwise31{
+		a: 1 + rng.Uint64n(Mersenne31-1),
+		b: rng.Uint64n(Mersenne31),
+	}
+}
+
+// Hash returns h(x) ∈ [0, 2^31−1) as a uint32.
+func (h Pairwise31) Hash(x uint64) uint32 {
+	x = (x >> 31) + (x & Mersenne31)
+	x = (x >> 31) + (x & Mersenne31)
+	if x >= Mersenne31 {
+		x -= Mersenne31
+	}
+	v := (h.a*x + h.b) % Mersenne31
+	return uint32(v)
+}
+
+// Unit returns h(x)/p ∈ (0, 1], the paper's "store a 32-bit int, divide by p"
+// convention.
+func (h Pairwise31) Unit(x uint64) float64 {
+	return float64(h.Hash(x)+1) / float64(Mersenne31)
+}
+
+// Sign is a hash to {−1, +1} built from an independent Pairwise function,
+// used by AMS/JL style linear sketches. The sign is the parity-balanced top
+// bit of the field value.
+type Sign struct {
+	h Pairwise
+}
+
+// NewSign draws a random sign hash.
+func NewSign(rng *SplitMix64) Sign {
+	return Sign{h: NewPairwise(rng)}
+}
+
+// Apply returns +1.0 or −1.0 for index x.
+func (s Sign) Apply(x uint64) float64 {
+	if s.h.Hash(x)&1 == 0 {
+		return 1.0
+	}
+	return -1.0
+}
+
+// Bucket hashes indices to one of nb buckets, for CountSketch rows.
+type Bucket struct {
+	h  Pairwise
+	nb uint64
+}
+
+// NewBucket draws a random bucket hash with nb buckets. It panics if nb == 0.
+func NewBucket(rng *SplitMix64, nb int) Bucket {
+	if nb <= 0 {
+		panic("hashing: NewBucket requires at least one bucket")
+	}
+	return Bucket{h: NewPairwise(rng), nb: uint64(nb)}
+}
+
+// Apply returns the bucket of index x in [0, nb).
+func (b Bucket) Apply(x uint64) int {
+	return int(b.h.Hash(x) % b.nb)
+}

@@ -1,0 +1,233 @@
+package hashing
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// refMod61 computes (a*b + c) mod 2^61-1 with arbitrary-precision integers.
+func refMod61(a, b, c uint64) uint64 {
+	p := new(big.Int).SetUint64(Mersenne61)
+	x := new(big.Int).SetUint64(a)
+	x.Mul(x, new(big.Int).SetUint64(b))
+	x.Add(x, new(big.Int).SetUint64(c))
+	x.Mod(x, p)
+	return x.Uint64()
+}
+
+func TestMulMod61AgainstBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= Mersenne61
+		b %= Mersenne61
+		return mulMod61(a, b) == refMod61(a, b, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMod61AgainstBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= Mersenne61
+		b %= Mersenne61
+		return addMod61(a, b) == refMod61(a, 1, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMod61Extremes(t *testing.T) {
+	max := Mersenne61 - 1
+	cases := []struct{ a, b uint64 }{
+		{0, 0}, {0, max}, {max, 0}, {1, max}, {max, 1}, {max, max},
+		{Mersenne61 / 2, 2}, {1 << 60, 1 << 60},
+	}
+	for _, c := range cases {
+		if got, want := mulMod61(c.a, c.b), refMod61(c.a, c.b, 0); got != want {
+			t.Errorf("mulMod61(%d,%d) = %d, want %d", c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestPairwiseHashRangeAndDeterminism(t *testing.T) {
+	h := NewPairwise(NewSplitMix64(1))
+	for x := uint64(0); x < 10000; x++ {
+		v := h.Hash(x)
+		if v >= Mersenne61 {
+			t.Fatalf("Hash(%d) = %d out of field", x, v)
+		}
+		if v != h.Hash(x) {
+			t.Fatalf("Hash(%d) not deterministic", x)
+		}
+	}
+}
+
+func TestPairwiseHashMatchesAffineForm(t *testing.T) {
+	// For inputs already inside the field, Hash must equal (a·x+b) mod p.
+	rng := NewSplitMix64(3)
+	h := NewPairwise(rng)
+	f := func(x uint64) bool {
+		x %= Mersenne61
+		return h.Hash(x) == refMod61(h.a, x, h.b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairwiseLargeDomainFolding(t *testing.T) {
+	// Inputs ≥ p are folded into the field before the affine map; folding
+	// must be consistent (same input, same output) and stay in range.
+	h := NewPairwise(NewSplitMix64(5))
+	for _, x := range []uint64{Mersenne61, Mersenne61 + 1, math.MaxUint64, 1 << 62} {
+		v := h.Hash(x)
+		if v >= Mersenne61 {
+			t.Errorf("Hash(%d) = %d out of field", x, v)
+		}
+	}
+}
+
+func TestPairwiseUnitInterval(t *testing.T) {
+	h := NewPairwise(NewSplitMix64(7))
+	for x := uint64(0); x < 50000; x++ {
+		u := h.Unit(x)
+		if !(u > 0 && u <= 1) {
+			t.Fatalf("Unit(%d) = %v outside (0,1]", x, u)
+		}
+	}
+}
+
+func TestPairwiseUnitUniformity(t *testing.T) {
+	h := NewPairwise(NewSplitMix64(11))
+	const n, buckets = 200000, 20
+	var counts [buckets]int
+	for x := uint64(0); x < n; x++ {
+		b := int(h.Unit(x) * buckets)
+		if b == buckets {
+			b--
+		}
+		counts[b]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/buckets) > 0.01 {
+			t.Errorf("bucket %d frequency %.4f, want ~%.4f", b, frac, 1.0/buckets)
+		}
+	}
+}
+
+func TestPairwiseCollisionsRare(t *testing.T) {
+	h := NewPairwise(NewSplitMix64(13))
+	seen := make(map[uint64]uint64, 100000)
+	for x := uint64(0); x < 100000; x++ {
+		v := h.Hash(x)
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("collision: Hash(%d) == Hash(%d)", x, prev)
+		}
+		seen[v] = x
+	}
+}
+
+func TestPairwiseIndependentDraws(t *testing.T) {
+	rng := NewSplitMix64(17)
+	h1 := NewPairwise(rng)
+	h2 := NewPairwise(rng)
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if h1.Hash(x) == h2.Hash(x) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("two independent draws agree on %d of 1000 inputs", same)
+	}
+}
+
+func TestPairwise31RangeAndAgreement(t *testing.T) {
+	h := NewPairwise31(NewSplitMix64(19))
+	for x := uint64(0); x < 50000; x++ {
+		v := h.Hash(x)
+		if uint64(v) >= Mersenne31 {
+			t.Fatalf("Hash31(%d) = %d out of field", x, v)
+		}
+		u := h.Unit(x)
+		if !(u > 0 && u <= 1) {
+			t.Fatalf("Unit31(%d) = %v outside (0,1]", x, u)
+		}
+	}
+}
+
+func TestPairwise31MatchesBig(t *testing.T) {
+	h := NewPairwise31(NewSplitMix64(23))
+	p := new(big.Int).SetUint64(Mersenne31)
+	f := func(x uint64) bool {
+		// Fold x the same way Hash does, then check the affine map.
+		fx := (x >> 31) + (x & Mersenne31)
+		fx = (fx >> 31) + (fx & Mersenne31)
+		if fx >= Mersenne31 {
+			fx -= Mersenne31
+		}
+		want := new(big.Int).SetUint64(h.a)
+		want.Mul(want, new(big.Int).SetUint64(fx))
+		want.Add(want, new(big.Int).SetUint64(h.b))
+		want.Mod(want, p)
+		return uint64(h.Hash(x)) == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignBalancedAndDeterministic(t *testing.T) {
+	s := NewSign(NewSplitMix64(29))
+	pos := 0
+	const n = 100000
+	for x := uint64(0); x < n; x++ {
+		v := s.Apply(x)
+		if v != 1 && v != -1 {
+			t.Fatalf("Sign(%d) = %v", x, v)
+		}
+		if v != s.Apply(x) {
+			t.Fatalf("Sign(%d) not deterministic", x)
+		}
+		if v == 1 {
+			pos++
+		}
+	}
+	frac := float64(pos) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Sign +1 frequency = %.4f, want ~0.5", frac)
+	}
+}
+
+func TestBucketRangeAndUniformity(t *testing.T) {
+	const nb = 16
+	b := NewBucket(NewSplitMix64(31), nb)
+	var counts [nb]int
+	const n = 160000
+	for x := uint64(0); x < n; x++ {
+		k := b.Apply(x)
+		if k < 0 || k >= nb {
+			t.Fatalf("Bucket(%d) = %d out of range", x, k)
+		}
+		counts[k]++
+	}
+	for k, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/nb) > 0.01 {
+			t.Errorf("bucket %d frequency %.4f, want ~%.4f", k, frac, 1.0/nb)
+		}
+	}
+}
+
+func TestBucketPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBucket(0) did not panic")
+		}
+	}()
+	NewBucket(NewSplitMix64(1), 0)
+}

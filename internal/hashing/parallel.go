@@ -1,0 +1,44 @@
+package hashing
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel runs fn(i) for every i in [0, n) across up to GOMAXPROCS
+// workers. It is used by the sketchers to parallelize over independent
+// samples: determinism is preserved because each sample derives its
+// randomness from its own index, not from shared stream state. Small jobs
+// run inline to avoid goroutine overhead.
+func Parallel(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 16 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,35 @@
+package hashing
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 16, 1000} {
+		seen := make([]int32, n)
+		Parallel(n, func(i int) {
+			atomic.AddInt32(&seen[i], 1)
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	const n = 500
+	par := make([]uint64, n)
+	seq := make([]uint64, n)
+	Parallel(n, func(i int) { par[i] = Mix(uint64(i), 42) })
+	for i := 0; i < n; i++ {
+		seq[i] = Mix(uint64(i), 42)
+	}
+	for i := range par {
+		if par[i] != seq[i] {
+			t.Fatalf("parallel result differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package kmv
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hashing"
+)
+
+// Builder constructs a KMV sketch incrementally from a stream of
+// (index, value) entries in O(K) memory, without materializing the vector
+// — KMV is the one sketch in this repository whose construction is
+// naturally one-pass and constant-space (a bottom-k heap). Entries may
+// arrive in any order; duplicate indices are rejected.
+//
+//	b := kmv.NewBuilder(100000, kmv.Params{K: 256, Seed: 1})
+//	for idx, val := range stream { b.Add(idx, val) }
+//	sketch, err := b.Finish()
+type Builder struct {
+	params   Params
+	dim      uint64
+	key      uint64
+	nnz      int
+	finished bool
+	h        maxHeap // the K smallest hashes seen, max at the root
+}
+
+// entry pairs a hash with the vector value at its index.
+type entry struct {
+	hash uint64
+	val  float64
+}
+
+// maxHeap keeps the largest retained hash at the root so it can be evicted
+// when a smaller one arrives.
+type maxHeap []entry
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].hash > h[j].hash }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(entry)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewBuilder starts an empty sketch of a vector with the given dimension.
+func NewBuilder(dim uint64, p Params) (*Builder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Builder{
+		params: p,
+		dim:    dim,
+		key:    hashing.Mix(p.Seed, 0x6b6d76 /* "kmv" */),
+	}, nil
+}
+
+// Add feeds one non-zero entry. Zero values are ignored (they are not part
+// of the support); non-finite values and out-of-range indices are
+// rejected. Indices must not repeat across the stream — the builder
+// cannot detect all duplicates in O(K) memory, but any duplicate that
+// collides inside the retained heap is caught.
+func (b *Builder) Add(index uint64, value float64) error {
+	if b.finished {
+		return fmt.Errorf("kmv: Add after Finish")
+	}
+	if index >= b.dim {
+		return fmt.Errorf("kmv: index %d out of range for dimension %d", index, b.dim)
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("kmv: non-finite value %v at index %d", value, index)
+	}
+	if value == 0 {
+		return nil
+	}
+	b.nnz++
+	hv := hashing.Mix(b.key, index)
+	if len(b.h) < b.params.K {
+		for _, e := range b.h {
+			if e.hash == hv {
+				return fmt.Errorf("kmv: duplicate index %d in stream", index)
+			}
+		}
+		heap.Push(&b.h, entry{hash: hv, val: value})
+		return nil
+	}
+	if hv >= b.h[0].hash {
+		return nil // not among the K smallest
+	}
+	for _, e := range b.h {
+		if e.hash == hv {
+			return fmt.Errorf("kmv: duplicate index %d in stream", index)
+		}
+	}
+	b.h[0] = entry{hash: hv, val: value}
+	heap.Fix(&b.h, 0)
+	return nil
+}
+
+// NNZ returns the number of non-zero entries fed so far.
+func (b *Builder) NNZ() int { return b.nnz }
+
+// Finish seals the builder and returns the sketch. The builder cannot be
+// reused afterwards.
+func (b *Builder) Finish() (*Sketch, error) {
+	if b.finished {
+		return nil, fmt.Errorf("kmv: Finish called twice")
+	}
+	b.finished = true
+	entries := append([]entry(nil), b.h...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].hash < entries[j].hash })
+	s := &Sketch{params: b.params, dim: b.dim, nnz: b.nnz}
+	s.hashes = make([]uint64, len(entries))
+	s.vals = make([]float64, len(entries))
+	for i, e := range entries {
+		s.hashes[i] = e.hash
+		s.vals[i] = e.val
+	}
+	return s, nil
+}

@@ -1,0 +1,176 @@
+package kmv
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+// TestBuilderMatchesBatchSketch: streaming construction must be bitwise
+// identical to batch construction, regardless of arrival order.
+func TestBuilderMatchesBatchSketch(t *testing.T) {
+	v := rangeVec(0, 500, func(i uint64) float64 { return float64(i%9) + 0.5 })
+	p := Params{K: 64, Seed: 7}
+	batch := mustSketch(t, v, p)
+
+	// Feed entries in a shuffled order.
+	type kv struct {
+		i uint64
+		v float64
+	}
+	var entries []kv
+	v.Range(func(i uint64, val float64) bool {
+		entries = append(entries, kv{i, val})
+		return true
+	})
+	hashing.Shuffle(hashing.NewSplitMix64(3), entries)
+
+	b, err := NewBuilder(v.Dim(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := b.Add(e.i, e.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.NNZ() != v.NNZ() {
+		t.Fatalf("builder NNZ %d, want %d", b.NNZ(), v.NNZ())
+	}
+	got, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.hashes) != len(batch.hashes) || got.nnz != batch.nnz {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", len(got.hashes), got.nnz, len(batch.hashes), batch.nnz)
+	}
+	for i := range batch.hashes {
+		if got.hashes[i] != batch.hashes[i] || got.vals[i] != batch.vals[i] {
+			t.Fatalf("streaming sketch differs at entry %d", i)
+		}
+	}
+}
+
+func TestBuilderEstimatesInterchangeable(t *testing.T) {
+	a := rangeVec(0, 300, func(i uint64) float64 { return float64(i) + 1 })
+	p := Params{K: 64, Seed: 9}
+	batchA := mustSketch(t, a, p)
+
+	b, _ := NewBuilder(a.Dim(), p)
+	a.Range(func(i uint64, val float64) bool {
+		if err := b.Add(i, val); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	streamA, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := mustSketch(t, rangeVec(150, 450, ones), p)
+	e1, err := Estimate(streamA, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := Estimate(batchA, other)
+	if e1 != e2 {
+		t.Fatalf("streaming estimate %v != batch estimate %v", e1, e2)
+	}
+}
+
+func TestBuilderSkipsZerosAndValidates(t *testing.T) {
+	b, err := NewBuilder(100, Params{K: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(5, 0); err != nil {
+		t.Fatal("zero value should be silently skipped")
+	}
+	if b.NNZ() != 0 {
+		t.Fatal("zero value counted")
+	}
+	if err := b.Add(200, 1); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	nan := 0.0
+	nan /= nan
+	if err := b.Add(5, nan); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestBuilderRejectsDuplicatesInHeap(t *testing.T) {
+	b, _ := NewBuilder(100, Params{K: 8, Seed: 1})
+	if err := b.Add(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(5, 2); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+}
+
+func TestBuilderLifecycle(t *testing.T) {
+	b, _ := NewBuilder(100, Params{K: 8, Seed: 1})
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("double Finish accepted")
+	}
+	if err := b.Add(1, 1); err == nil {
+		t.Fatal("Add after Finish accepted")
+	}
+}
+
+func TestBuilderEmptyStream(t *testing.T) {
+	b, _ := NewBuilder(100, Params{K: 8, Seed: 1})
+	s, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsEmpty() {
+		t.Fatal("empty stream should give empty sketch")
+	}
+	empty := mustSketch(t, vector.MustNew(100, nil, nil), Params{K: 8, Seed: 1})
+	got, err := Estimate(s, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("empty estimate nonzero")
+	}
+}
+
+func TestBuilderInvalidParams(t *testing.T) {
+	if _, err := NewBuilder(100, Params{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+// TestBuilderConstantMemory: the heap never grows beyond K entries even
+// for a long stream.
+func TestBuilderConstantMemory(t *testing.T) {
+	const k = 16
+	b, _ := NewBuilder(1<<40, Params{K: k, Seed: 5})
+	rng := hashing.NewSplitMix64(11)
+	for i := 0; i < 50000; i++ {
+		if err := b.Add(rng.Uint64n(1<<40), 1); err != nil {
+			// Random collisions on indices are vanishingly unlikely but
+			// tolerated: skip.
+			continue
+		}
+	}
+	if len(b.h) > k {
+		t.Fatalf("heap grew to %d entries, want ≤ %d", len(b.h), k)
+	}
+	s, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct estimate should be near 50000.
+	got := s.DistinctEstimate()
+	if got < 20000 || got > 120000 {
+		t.Fatalf("distinct estimate %v implausible for ~50000 stream", got)
+	}
+}

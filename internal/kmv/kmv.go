@@ -1,0 +1,240 @@
+// Package kmv implements the K-Minimum-Values (bottom-k) sketch used as the
+// "KMV" baseline in the paper's experiments (Beyer et al. 2007; the
+// augmented value-carrying variant follows Santos et al. 2021).
+//
+// Unlike MinHash, which draws m samples with replacement using m hash
+// functions, KMV hashes the support once and keeps the k smallest hash
+// values together with the vector values at those indices — a coordinated
+// bottom-k sample without replacement.
+//
+// Estimation uses the standard threshold construction: let τ be the k-th
+// smallest hash value in the union of the two sketches. Every support
+// index with h(j) < τ is guaranteed to be present in both sketches when it
+// is present in both supports, so {j ∈ A∩B : h(j) < τ} is observable, each
+// such j is included with probability τ, and the Horvitz–Thompson estimate
+// of ⟨a,b⟩ is Σ_matched a[j]·b[j] / τ. When a sketch holds its entire
+// support the estimates become exact.
+package kmv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+// Params configures sketch construction. Two sketches are comparable only
+// if built with identical Params.
+type Params struct {
+	// K is the number of minimum hash values retained.
+	K int
+	// Seed derives the shared hash function.
+	Seed uint64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.K <= 0 {
+		return errors.New("kmv: K must be positive")
+	}
+	return nil
+}
+
+// Sketch holds the k smallest support hashes (ascending) and the vector
+// values at those indices.
+type Sketch struct {
+	params Params
+	dim    uint64
+	nnz    int // true support size (known at construction)
+	hashes []uint64
+	vals   []float64
+}
+
+// New sketches the vector v.
+func New(v vector.Sparse, p Params) (*Sketch, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	key := hashing.Mix(p.Seed, 0x6b6d76 /* "kmv" */)
+	type hv struct {
+		h uint64
+		v float64
+	}
+	all := make([]hv, 0, v.NNZ())
+	v.Range(func(idx uint64, val float64) bool {
+		all = append(all, hv{h: hashing.Mix(key, idx), v: val})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].h < all[j].h })
+	if len(all) > p.K {
+		all = all[:p.K]
+	}
+	s := &Sketch{params: p, dim: v.Dim(), nnz: v.NNZ()}
+	s.hashes = make([]uint64, len(all))
+	s.vals = make([]float64, len(all))
+	for i, e := range all {
+		s.hashes[i] = e.h
+		s.vals[i] = e.v
+	}
+	return s, nil
+}
+
+// Params returns the construction parameters.
+func (s *Sketch) Params() Params { return s.params }
+
+// Dim returns the dimension of the sketched vector.
+func (s *Sketch) Dim() uint64 { return s.dim }
+
+// IsEmpty reports whether the sketched vector had no non-zero entries.
+func (s *Sketch) IsEmpty() bool { return len(s.hashes) == 0 }
+
+// SawAll reports whether the sketch retained the vector's entire support
+// (|A| ≤ K), in which case estimates involving it are exact.
+func (s *Sketch) SawAll() bool { return s.nnz <= s.params.K }
+
+// StorageWords returns the sketch size in 64-bit words under the paper's
+// accounting (32-bit hash + 64-bit value per retained sample).
+func (s *Sketch) StorageWords() float64 { return 1.5 * float64(s.params.K) }
+
+// DistinctEstimate estimates the support size |A|: exact when the whole
+// support was retained, otherwise the Beyer et al. estimator (k−1)/u_(k).
+func (s *Sketch) DistinctEstimate() float64 {
+	if s.SawAll() {
+		return float64(len(s.hashes))
+	}
+	k := len(s.hashes)
+	return float64(k-1) / hashing.UnitFromBits(s.hashes[k-1])
+}
+
+func compatible(a, b *Sketch) error {
+	if a.params != b.params {
+		return fmt.Errorf("kmv: incompatible params %+v vs %+v", a.params, b.params)
+	}
+	if a.dim != b.dim {
+		return fmt.Errorf("kmv: dimension mismatch %d vs %d", a.dim, b.dim)
+	}
+	return nil
+}
+
+// merge computes the threshold unit value τ for the pair and the matched
+// (value product, hash) pairs below it. τ = 1 when both sketches retained
+// their full supports (estimates become exact sums).
+func merge(a, b *Sketch) (tau float64, matchedProducts []float64) {
+	// Union of distinct hash values, ascending (both inputs sorted).
+	var union []uint64
+	i, j := 0, 0
+	for i < len(a.hashes) && j < len(b.hashes) {
+		switch {
+		case a.hashes[i] < b.hashes[j]:
+			union = append(union, a.hashes[i])
+			i++
+		case a.hashes[i] > b.hashes[j]:
+			union = append(union, b.hashes[j])
+			j++
+		default:
+			union = append(union, a.hashes[i])
+			i++
+			j++
+		}
+	}
+	union = append(union, a.hashes[i:]...)
+	union = append(union, b.hashes[j:]...)
+
+	k := a.params.K
+	var tauHash uint64
+	if a.SawAll() && b.SawAll() {
+		tau = 1.0
+		tauHash = ^uint64(0)
+	} else if len(union) < k {
+		// One side overflowed but the union is still small; the k-th value
+		// does not exist — fall back to the largest retained hash, which
+		// is a valid (conservative) threshold.
+		tauHash = union[len(union)-1]
+		tau = hashing.UnitFromBits(tauHash)
+	} else {
+		tauHash = union[k-1]
+		tau = hashing.UnitFromBits(tauHash)
+	}
+
+	// Matched pairs strictly below the threshold.
+	i, j = 0, 0
+	for i < len(a.hashes) && j < len(b.hashes) {
+		switch {
+		case a.hashes[i] < b.hashes[j]:
+			i++
+		case a.hashes[i] > b.hashes[j]:
+			j++
+		default:
+			if a.hashes[i] < tauHash || (a.SawAll() && b.SawAll()) {
+				matchedProducts = append(matchedProducts, a.vals[i]*b.vals[j])
+			}
+			i++
+			j++
+		}
+	}
+	return tau, matchedProducts
+}
+
+// Estimate returns the inner-product estimate ⟨a, b⟩ from the two sketches.
+func Estimate(a, b *Sketch) (float64, error) {
+	if err := compatible(a, b); err != nil {
+		return 0, err
+	}
+	if a.IsEmpty() || b.IsEmpty() {
+		return 0, nil
+	}
+	tau, matched := merge(a, b)
+	sum := 0.0
+	for _, p := range matched {
+		sum += p
+	}
+	return sum / tau, nil
+}
+
+// JoinSizeEstimate estimates |A∩B| (the join size when the vectors are
+// key-indicator vectors, §1.2 of the paper).
+func JoinSizeEstimate(a, b *Sketch) (float64, error) {
+	if err := compatible(a, b); err != nil {
+		return 0, err
+	}
+	if a.IsEmpty() || b.IsEmpty() {
+		return 0, nil
+	}
+	tau, matched := merge(a, b)
+	return float64(len(matched)) / tau, nil
+}
+
+// UnionEstimate estimates |A∪B|: exact when both sketches retained their
+// supports, otherwise (k−1)/τ on the merged bottom-k.
+func UnionEstimate(a, b *Sketch) (float64, error) {
+	if err := compatible(a, b); err != nil {
+		return 0, err
+	}
+	if a.IsEmpty() && b.IsEmpty() {
+		return 0, nil
+	}
+	if a.SawAll() && b.SawAll() {
+		return float64(unionCount(a.hashes, b.hashes)), nil
+	}
+	tau, _ := merge(a, b)
+	return float64(a.params.K-1) / tau, nil
+}
+
+func unionCount(x, y []uint64) int {
+	i, j, n := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			i++
+		case x[i] > y[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+		n++
+	}
+	return n + (len(x) - i) + (len(y) - j)
+}

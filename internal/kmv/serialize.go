@@ -1,0 +1,55 @@
+package kmv
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// MarshalBinary encodes the sketch. Layout: K, Seed, dim, nnz, hashes,
+// vals.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	w.U64(uint64(s.params.K))
+	w.U64(s.params.Seed)
+	w.U64(s.dim)
+	w.U64(uint64(s.nnz))
+	w.U64s(s.hashes)
+	w.F64s(s.vals)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes into s, validating structural invariants.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	k := r.U64()
+	seed := r.U64()
+	dim := r.U64()
+	nnz := r.U64()
+	hashes := r.U64s()
+	vals := r.F64s()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("kmv: decoding sketch: %w", err)
+	}
+	p := Params{K: int(k), Seed: seed}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(hashes) != len(vals) {
+		return fmt.Errorf("kmv: %d hashes but %d values", len(hashes), len(vals))
+	}
+	want := nnz
+	if want > k {
+		want = k
+	}
+	if uint64(len(hashes)) != want {
+		return fmt.Errorf("kmv: sketch has %d entries, want %d", len(hashes), want)
+	}
+	for i := 1; i < len(hashes); i++ {
+		if hashes[i] <= hashes[i-1] {
+			return fmt.Errorf("kmv: hashes not strictly ascending at %d", i)
+		}
+	}
+	*s = Sketch{params: p, dim: dim, nnz: int(nnz), hashes: hashes, vals: vals}
+	return nil
+}

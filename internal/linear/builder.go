@@ -1,0 +1,131 @@
+package linear
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashing"
+)
+
+// Linear sketches are one-pass and support the turnstile stream model:
+// S(a) = Πa is built by accumulating Π's column for each incoming
+// (index, delta) update, so repeated indices add up (deletions arrive as
+// negative deltas). These builders expose that model directly, in O(m)
+// memory, without materializing the vector.
+
+// JLBuilder incrementally builds a JL sketch from (index, delta) updates.
+type JLBuilder struct {
+	params   JLParams
+	dim      uint64
+	keys     []uint64
+	rows     []float64
+	finished bool
+}
+
+// NewJLBuilder starts an empty sketch of a vector with the given dimension.
+func NewJLBuilder(dim uint64, p JLParams) (*JLBuilder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &JLBuilder{
+		params: p,
+		dim:    dim,
+		keys:   rowKeys(p.Seed, p.M, 0x6a6c /* "jl" */),
+		rows:   make([]float64, p.M),
+	}, nil
+}
+
+// Add applies one turnstile update: a[index] += delta.
+func (b *JLBuilder) Add(index uint64, delta float64) error {
+	if b.finished {
+		return fmt.Errorf("linear: Add after Finish")
+	}
+	if index >= b.dim {
+		return fmt.Errorf("linear: index %d out of range for dimension %d", index, b.dim)
+	}
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return fmt.Errorf("linear: non-finite delta %v at index %d", delta, index)
+	}
+	if delta == 0 {
+		return nil
+	}
+	for r := range b.rows {
+		b.rows[r] += signOf(b.keys[r], index) * delta
+	}
+	return nil
+}
+
+// Finish seals the builder and returns the sketch.
+func (b *JLBuilder) Finish() (*JLSketch, error) {
+	if b.finished {
+		return nil, fmt.Errorf("linear: Finish called twice")
+	}
+	b.finished = true
+	s := &JLSketch{params: b.params, dim: b.dim, rows: b.rows}
+	inv := 1.0 / math.Sqrt(float64(b.params.M))
+	for r := range s.rows {
+		s.rows[r] *= inv
+	}
+	return s, nil
+}
+
+// CSBuilder incrementally builds a CountSketch from (index, delta)
+// updates.
+type CSBuilder struct {
+	params     CSParams
+	dim        uint64
+	bucketKeys []uint64
+	signKeys   []uint64
+	rows       [][]float64
+	finished   bool
+}
+
+// NewCSBuilder starts an empty sketch of a vector with the given
+// dimension.
+func NewCSBuilder(dim uint64, p CSParams) (*CSBuilder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := &CSBuilder{
+		params:     p,
+		dim:        dim,
+		bucketKeys: rowKeys(p.Seed, p.Reps, 0x6373627563 /* "csbuc" */),
+		signKeys:   rowKeys(p.Seed, p.Reps, 0x637373676e /* "cssgn" */),
+		rows:       make([][]float64, p.Reps),
+	}
+	for r := range b.rows {
+		b.rows[r] = make([]float64, p.Buckets)
+	}
+	return b, nil
+}
+
+// Add applies one turnstile update: a[index] += delta.
+func (b *CSBuilder) Add(index uint64, delta float64) error {
+	if b.finished {
+		return fmt.Errorf("linear: Add after Finish")
+	}
+	if index >= b.dim {
+		return fmt.Errorf("linear: index %d out of range for dimension %d", index, b.dim)
+	}
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return fmt.Errorf("linear: non-finite delta %v at index %d", delta, index)
+	}
+	if delta == 0 {
+		return nil
+	}
+	nb := uint64(b.params.Buckets)
+	for r := 0; r < b.params.Reps; r++ {
+		bk := hashing.Mix(b.bucketKeys[r], index) % nb
+		b.rows[r][bk] += signOf(b.signKeys[r], index) * delta
+	}
+	return nil
+}
+
+// Finish seals the builder and returns the sketch.
+func (b *CSBuilder) Finish() (*CSSketch, error) {
+	if b.finished {
+		return nil, fmt.Errorf("linear: Finish called twice")
+	}
+	b.finished = true
+	return &CSSketch{params: b.params, dim: b.dim, rows: b.rows}, nil
+}

@@ -1,0 +1,211 @@
+package linear
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+func TestJLBuilderMatchesBatch(t *testing.T) {
+	v := testVector(11)
+	p := JLParams{M: 64, Seed: 5}
+	batch, _ := NewJL(v, p)
+
+	b, err := NewJLBuilder(v.Dim(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Range(func(i uint64, val float64) bool {
+		if err := b.Add(i, val); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	got, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range batch.rows {
+		if math.Abs(got.rows[r]-batch.rows[r]) > 1e-12*math.Max(1, math.Abs(batch.rows[r])) {
+			t.Fatalf("row %d differs: %v vs %v", r, got.rows[r], batch.rows[r])
+		}
+	}
+}
+
+// TestJLBuilderTurnstile: repeated indices accumulate — updates (i, +2)
+// then (i, +3) equal a single entry of 5, and (i, −5) cancels it.
+func TestJLBuilderTurnstile(t *testing.T) {
+	p := JLParams{M: 32, Seed: 7}
+	b, _ := NewJLBuilder(100, p)
+	if err := b.Add(7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(7, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.Finish()
+
+	direct, _ := NewJL(vector.MustNew(100, []uint64{7}, []float64{5}), p)
+	for r := range direct.rows {
+		if math.Abs(got.rows[r]-direct.rows[r]) > 1e-12 {
+			t.Fatalf("turnstile accumulation wrong at row %d", r)
+		}
+	}
+
+	b2, _ := NewJLBuilder(100, p)
+	b2.Add(7, 5)
+	b2.Add(7, -5)
+	cancelled, _ := b2.Finish()
+	for r := range cancelled.rows {
+		if cancelled.rows[r] != 0 {
+			t.Fatalf("deletion did not cancel at row %d", r)
+		}
+	}
+}
+
+func TestJLBuilderValidation(t *testing.T) {
+	if _, err := NewJLBuilder(10, JLParams{M: 0}); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+	b, _ := NewJLBuilder(10, JLParams{M: 8, Seed: 1})
+	if err := b.Add(10, 1); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := b.Add(1, math.Inf(1)); err == nil {
+		t.Fatal("Inf accepted")
+	}
+	if err := b.Add(1, 0); err != nil {
+		t.Fatal("zero delta should be a no-op")
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(1, 1); err == nil {
+		t.Fatal("Add after Finish accepted")
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("double Finish accepted")
+	}
+}
+
+func TestCSBuilderMatchesBatch(t *testing.T) {
+	v := testVector(13)
+	p := CSParams{Buckets: 32, Reps: 5, Seed: 9}
+	batch, _ := NewCountSketch(v, p)
+
+	b, err := NewCSBuilder(v.Dim(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Range(func(i uint64, val float64) bool {
+		if err := b.Add(i, val); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	got, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range batch.rows {
+		for k := range batch.rows[r] {
+			if got.rows[r][k] != batch.rows[r][k] {
+				t.Fatalf("counter (%d,%d) differs", r, k)
+			}
+		}
+	}
+	// And the sketch estimates interchangeably.
+	e1, err := EstimateCountSketch(got, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := EstimateCountSketch(batch, batch)
+	if e1 != e2 {
+		t.Fatalf("streaming estimate %v != batch %v", e1, e2)
+	}
+}
+
+func TestCSBuilderTurnstile(t *testing.T) {
+	p := CSParams{Buckets: 16, Reps: 3, Seed: 11}
+	b, _ := NewCSBuilder(100, p)
+	b.Add(3, 10)
+	b.Add(3, -4)
+	got, _ := b.Finish()
+	direct, _ := NewCountSketch(vector.MustNew(100, []uint64{3}, []float64{6}), p)
+	for r := range direct.rows {
+		for k := range direct.rows[r] {
+			if got.rows[r][k] != direct.rows[r][k] {
+				t.Fatalf("turnstile counter (%d,%d) wrong", r, k)
+			}
+		}
+	}
+}
+
+func TestCSBuilderValidation(t *testing.T) {
+	if _, err := NewCSBuilder(10, CSParams{}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	b, _ := NewCSBuilder(10, CSParams{Buckets: 4, Reps: 2, Seed: 1})
+	if err := b.Add(99, 1); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	nan := math.NaN()
+	if err := b.Add(1, nan); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(1, 1); err == nil {
+		t.Fatal("Add after Finish accepted")
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("double Finish accepted")
+	}
+}
+
+// TestBuildersFromRandomStreams: random turnstile streams with cancelling
+// updates produce sketches identical to the net vector's.
+func TestBuildersFromRandomStreams(t *testing.T) {
+	rng := hashing.NewSplitMix64(17)
+	for trial := 0; trial < 20; trial++ {
+		net := map[uint64]float64{}
+		type upd struct {
+			i uint64
+			d float64
+		}
+		var stream []upd
+		for u := 0; u < 200; u++ {
+			i := rng.Uint64n(500)
+			d := rng.Norm()
+			stream = append(stream, upd{i, d})
+			net[i] += d
+		}
+		for i, v := range net {
+			if v == 0 || math.Abs(v) < 1e-15 {
+				delete(net, i)
+			}
+		}
+		v, err := vector.FromMap(500, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		p := JLParams{M: 16, Seed: uint64(trial)}
+		direct, _ := NewJL(v, p)
+		b, _ := NewJLBuilder(500, p)
+		for _, u := range stream {
+			if err := b.Add(u.i, u.d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, _ := b.Finish()
+		for r := range direct.rows {
+			if math.Abs(got.rows[r]-direct.rows[r]) > 1e-9 {
+				t.Fatalf("trial %d row %d: stream %v vs direct %v", trial, r, got.rows[r], direct.rows[r])
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package linear
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+// CSParams configures a CountSketch (Charikar, Chen, Farach-Colton 2002)
+// in the configuration the paper uses for its experiments (following
+// Larsen, Pagh, Tětek 2021): Reps independent sketches of Buckets counters
+// each, combined by taking the median of the per-repetition inner-product
+// estimates.
+type CSParams struct {
+	// Buckets is the number of counters per repetition.
+	Buckets int
+	// Reps is the number of independent repetitions (the paper uses 5).
+	Reps int
+	// Seed derives the bucket and sign hashes.
+	Seed uint64
+}
+
+// DefaultReps is the paper's repetition count.
+const DefaultReps = 5
+
+// Validate reports whether the parameters are usable.
+func (p CSParams) Validate() error {
+	if p.Buckets <= 0 {
+		return errors.New("linear: CountSketch bucket count must be positive")
+	}
+	if p.Reps <= 0 {
+		return errors.New("linear: CountSketch repetition count must be positive")
+	}
+	return nil
+}
+
+// CSSketch holds Reps rows of Buckets signed counters.
+type CSSketch struct {
+	params CSParams
+	dim    uint64
+	rows   [][]float64
+}
+
+// NewCountSketch sketches the vector v. Each repetition r hashes index j
+// to bucket h_r(j) with sign s_r(j) and accumulates s_r(j)·v[j].
+func NewCountSketch(v vector.Sparse, p CSParams) (*CSSketch, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &CSSketch{params: p, dim: v.Dim(), rows: make([][]float64, p.Reps)}
+	bucketKeys := rowKeys(p.Seed, p.Reps, 0x6373627563 /* "csbuc" */)
+	signKeys := rowKeys(p.Seed, p.Reps, 0x637373676e /* "cssgn" */)
+	for r := range s.rows {
+		s.rows[r] = make([]float64, p.Buckets)
+	}
+	nb := uint64(p.Buckets)
+	v.Range(func(idx uint64, val float64) bool {
+		for r := 0; r < p.Reps; r++ {
+			b := hashing.Mix(bucketKeys[r], idx) % nb
+			s.rows[r][b] += signOf(signKeys[r], idx) * val
+		}
+		return true
+	})
+	return s, nil
+}
+
+// Params returns the construction parameters.
+func (s *CSSketch) Params() CSParams { return s.params }
+
+// Dim returns the dimension of the sketched vector.
+func (s *CSSketch) Dim() uint64 { return s.dim }
+
+// StorageWords returns the sketch size in 64-bit words
+// (Reps × Buckets counters).
+func (s *CSSketch) StorageWords() float64 {
+	return float64(s.params.Reps * s.params.Buckets)
+}
+
+// EstimateCountSketch returns the median over repetitions of the
+// per-repetition estimates ⟨row_r(a), row_r(b)⟩.
+func EstimateCountSketch(a, b *CSSketch) (float64, error) {
+	if a.params != b.params {
+		return 0, fmt.Errorf("linear: incompatible CountSketch params %+v vs %+v", a.params, b.params)
+	}
+	if a.dim != b.dim {
+		return 0, fmt.Errorf("linear: CountSketch dimension mismatch %d vs %d", a.dim, b.dim)
+	}
+	ests := make([]float64, a.params.Reps)
+	for r := range ests {
+		sum := 0.0
+		ra, rb := a.rows[r], b.rows[r]
+		for k := range ra {
+			sum += ra[k] * rb[k]
+		}
+		ests[r] = sum
+	}
+	sort.Float64s(ests)
+	n := len(ests)
+	if n%2 == 1 {
+		return ests[n/2], nil
+	}
+	return 0.5 * (ests[n/2-1] + ests[n/2]), nil
+}

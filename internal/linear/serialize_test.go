@@ -1,0 +1,171 @@
+package linear
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+func testVector(seed uint64) vector.Sparse {
+	rng := hashing.NewSplitMix64(seed)
+	return randomSparse(rng, 500, 60)
+}
+
+func TestJLSerializeRoundTrip(t *testing.T) {
+	v := testVector(1)
+	s, _ := NewJL(v, JLParams{M: 32, Seed: 3})
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JLSketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Params() != s.Params() || got.Dim() != s.Dim() {
+		t.Fatal("metadata lost")
+	}
+	e1, err := EstimateJL(&got, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := EstimateJL(s, s)
+	if e1 != e2 {
+		t.Fatalf("decoded estimate %v != original %v", e1, e2)
+	}
+}
+
+func TestJLSerializeEmptyVector(t *testing.T) {
+	empty := vector.MustNew(100, nil, nil)
+	s, _ := NewJL(empty, JLParams{M: 8, Seed: 1})
+	data, _ := s.MarshalBinary()
+	var got JLSketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.rows) != 8 {
+		t.Fatal("zero rows not rebuilt")
+	}
+}
+
+func TestJLUnmarshalRejectsBadInput(t *testing.T) {
+	v := testVector(2)
+	s, _ := NewJL(v, JLParams{M: 16, Seed: 1})
+	data, _ := s.MarshalBinary()
+	var got JLSketch
+	if err := got.UnmarshalBinary(data[:10]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if err := got.UnmarshalBinary(append(data, 0xFF)); err == nil {
+		t.Fatal("trailing accepted")
+	}
+	// Zero out M.
+	bad := append([]byte(nil), data...)
+	for i := 0; i < 8; i++ {
+		bad[i] = 0
+	}
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+}
+
+func TestCSSerializeRoundTrip(t *testing.T) {
+	v := testVector(3)
+	s, _ := NewCountSketch(v, CSParams{Buckets: 16, Reps: 5, Seed: 7})
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got CSSketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := EstimateCountSketch(&got, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := EstimateCountSketch(s, s)
+	if e1 != e2 {
+		t.Fatalf("decoded estimate %v != original %v", e1, e2)
+	}
+}
+
+func TestCSUnmarshalRejectsBadInput(t *testing.T) {
+	v := testVector(4)
+	s, _ := NewCountSketch(v, CSParams{Buckets: 8, Reps: 3, Seed: 1})
+	data, _ := s.MarshalBinary()
+	var got CSSketch
+	if err := got.UnmarshalBinary(data[:16]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	bad := append([]byte(nil), data...)
+	for i := 0; i < 8; i++ {
+		bad[i] = 0 // Buckets = 0
+	}
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("Buckets=0 accepted")
+	}
+}
+
+func TestSimHashSerializeRoundTrip(t *testing.T) {
+	v := testVector(5)
+	s, _ := NewSimHash(v, SimHashParams{Bits: 100, Seed: 9})
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SimHashSketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Norm() != s.Norm() {
+		t.Fatal("norm lost")
+	}
+	e1, err := EstimateSimHash(&got, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := EstimateSimHash(s, s)
+	if e1 != e2 {
+		t.Fatalf("decoded estimate %v != original %v", e1, e2)
+	}
+}
+
+func TestSimHashSerializeEmpty(t *testing.T) {
+	empty := vector.MustNew(100, nil, nil)
+	s, _ := NewSimHash(empty, SimHashParams{Bits: 64, Seed: 1})
+	data, _ := s.MarshalBinary()
+	var got SimHashSketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.empty {
+		t.Fatal("empty flag lost")
+	}
+}
+
+func TestSimHashUnmarshalRejectsBadInput(t *testing.T) {
+	v := testVector(6)
+	s, _ := NewSimHash(v, SimHashParams{Bits: 64, Seed: 1})
+	data, _ := s.MarshalBinary()
+	var got SimHashSketch
+	if err := got.UnmarshalBinary(data[:8]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	bad := append([]byte(nil), data...)
+	for i := 0; i < 8; i++ {
+		bad[i] = 0 // Bits = 0
+	}
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("Bits=0 accepted")
+	}
+	// Corrupt the norm to NaN (bytes 24..32).
+	bad2 := append([]byte(nil), data...)
+	for i := 24; i < 32; i++ {
+		bad2[i] = 0xFF
+	}
+	if err := got.UnmarshalBinary(bad2); err == nil {
+		t.Fatal("NaN norm accepted")
+	}
+}

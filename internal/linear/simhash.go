@@ -1,0 +1,119 @@
+package linear
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+// SimHash (Charikar 2002) is the 1-bit quantization of a JL sketch that the
+// paper's storage discussion points to: each bit records the sign of a
+// random Gaussian projection ⟨g_r, a⟩. The fraction of agreeing bits
+// estimates 1 − θ/π for the angle θ between the vectors, from which the
+// cosine — and, with the stored norms, the inner product — is recovered.
+//
+// SimHash is implemented here as a storage-efficiency extension baseline:
+// it packs 64 projections per 64-bit word where JL spends a full word per
+// projection, at the cost of a nonlinear (and for near-orthogonal vectors,
+// noisier) estimate.
+
+// SimHashParams configures a SimHash sketch.
+type SimHashParams struct {
+	// Bits is the number of sign-projection bits.
+	Bits int
+	// Seed derives the Gaussian projections.
+	Seed uint64
+}
+
+// Validate reports whether the parameters are usable.
+func (p SimHashParams) Validate() error {
+	if p.Bits <= 0 {
+		return errors.New("linear: SimHash bit count must be positive")
+	}
+	return nil
+}
+
+// SimHashSketch stores the packed sign bits and the vector norm.
+type SimHashSketch struct {
+	params SimHashParams
+	dim    uint64
+	norm   float64
+	empty  bool
+	words  []uint64
+}
+
+// NewSimHash sketches the vector v.
+func NewSimHash(v vector.Sparse, p SimHashParams) (*SimHashSketch, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SimHashSketch{
+		params: p,
+		dim:    v.Dim(),
+		norm:   v.Norm(),
+		empty:  v.IsEmpty(),
+		words:  make([]uint64, (p.Bits+63)/64),
+	}
+	if s.empty {
+		return s, nil
+	}
+	// Projection value per bit: Σ_j g_{r,j}·v[j] with g ~ N(0,1) derived
+	// deterministically from (seed, r, j).
+	proj := make([]float64, p.Bits)
+	keys := rowKeys(p.Seed, p.Bits, 0x736968 /* "sih" */)
+	v.Range(func(idx uint64, val float64) bool {
+		for r := 0; r < p.Bits; r++ {
+			g := hashing.NewSplitMix64(hashing.Mix(keys[r], idx))
+			proj[r] += g.Norm() * val
+		}
+		return true
+	})
+	for r, x := range proj {
+		if x >= 0 {
+			s.words[r/64] |= 1 << (r % 64)
+		}
+	}
+	return s, nil
+}
+
+// Params returns the construction parameters.
+func (s *SimHashSketch) Params() SimHashParams { return s.params }
+
+// Dim returns the dimension of the sketched vector.
+func (s *SimHashSketch) Dim() uint64 { return s.dim }
+
+// Norm returns the stored Euclidean norm.
+func (s *SimHashSketch) Norm() float64 { return s.norm }
+
+// StorageWords returns the sketch size in 64-bit words: the packed bits
+// plus one word for the norm.
+func (s *SimHashSketch) StorageWords() float64 {
+	return float64(len(s.words)) + 1
+}
+
+// EstimateSimHash estimates ⟨a, b⟩ as ‖a‖‖b‖·cos(π·(1 − agreement)).
+func EstimateSimHash(a, b *SimHashSketch) (float64, error) {
+	if a.params != b.params {
+		return 0, fmt.Errorf("linear: incompatible SimHash params %+v vs %+v", a.params, b.params)
+	}
+	if a.dim != b.dim {
+		return 0, fmt.Errorf("linear: SimHash dimension mismatch %d vs %d", a.dim, b.dim)
+	}
+	if a.empty || b.empty {
+		return 0, nil
+	}
+	// Padding bits beyond Bits are zero in both sketches, so they never
+	// contribute to the XOR popcount.
+	disagree := 0
+	total := a.params.Bits
+	for w := range a.words {
+		disagree += bits.OnesCount64(a.words[w] ^ b.words[w])
+	}
+	agree := total - disagree
+	theta := math.Pi * (1 - float64(agree)/float64(total))
+	return a.norm * b.norm * math.Cos(theta), nil
+}

@@ -1,0 +1,126 @@
+// Package lsh implements banded locality-sensitive hashing over MinHash
+// signatures — the retrieval-side application the paper's related-work
+// section points to (Gionis et al. 1999; "MinHash often outperforms
+// SimHash for binary data", Shrivastava & Li 2014).
+//
+// A signature of length bands×rows is split into bands of rows entries;
+// two items become candidates if any band matches exactly. For items with
+// (weighted) Jaccard similarity J, each signature entry matches with
+// probability J, so the retrieval probability is the classic S-curve
+//
+//	P(candidate) = 1 − (1 − J^rows)^bands,
+//
+// sharply separating pairs above the threshold J* ≈ (1/bands)^(1/rows)
+// from pairs below it. Signatures come from minhash.Sketch.Signature or
+// wmh.Sketch.Signature (unweighted vs weighted Jaccard).
+package lsh
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/hashing"
+)
+
+// Params configures the banding scheme.
+type Params struct {
+	// Bands is the number of bands.
+	Bands int
+	// Rows is the number of signature entries per band.
+	Rows int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Bands <= 0 || p.Rows <= 0 {
+		return errors.New("lsh: bands and rows must be positive")
+	}
+	return nil
+}
+
+// SignatureLen returns the required signature length bands×rows.
+func (p Params) SignatureLen() int { return p.Bands * p.Rows }
+
+// Threshold returns the approximate similarity threshold of the S-curve,
+// (1/bands)^(1/rows).
+func (p Params) Threshold() float64 {
+	return math.Pow(1/float64(p.Bands), 1/float64(p.Rows))
+}
+
+// Index is a banded LSH index over int-identified items. It is not safe
+// for concurrent mutation.
+type Index struct {
+	params  Params
+	buckets []map[uint64][]int // one bucket map per band: band hash → ids
+	items   map[int][]uint64   // id → signature (for re-banding and dedup)
+}
+
+// New returns an empty index.
+func New(p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		params:  p,
+		buckets: make([]map[uint64][]int, p.Bands),
+		items:   make(map[int][]uint64),
+	}
+	for b := range ix.buckets {
+		ix.buckets[b] = make(map[uint64][]int)
+	}
+	return ix, nil
+}
+
+// Params returns the banding parameters.
+func (ix *Index) Params() Params { return ix.params }
+
+// Len returns the number of indexed items.
+func (ix *Index) Len() int { return len(ix.items) }
+
+// bandKey hashes one band of the signature to a bucket key.
+func (ix *Index) bandKey(band int, sig []uint64) uint64 {
+	lo := band * ix.params.Rows
+	parts := make([]uint64, 0, ix.params.Rows+1)
+	parts = append(parts, uint64(band))
+	parts = append(parts, sig[lo:lo+ix.params.Rows]...)
+	return hashing.Mix(parts...)
+}
+
+// Insert adds an item. Re-inserting an existing id is rejected (delete is
+// intentionally unsupported: LSH catalogs are rebuild-oriented).
+func (ix *Index) Insert(id int, signature []uint64) error {
+	if len(signature) != ix.params.SignatureLen() {
+		return fmt.Errorf("lsh: signature length %d, want %d", len(signature), ix.params.SignatureLen())
+	}
+	if _, dup := ix.items[id]; dup {
+		return fmt.Errorf("lsh: id %d already indexed", id)
+	}
+	sig := append([]uint64(nil), signature...)
+	ix.items[id] = sig
+	for b := 0; b < ix.params.Bands; b++ {
+		k := ix.bandKey(b, sig)
+		ix.buckets[b][k] = append(ix.buckets[b][k], id)
+	}
+	return nil
+}
+
+// Candidates returns the ids sharing at least one band with the query
+// signature, deduplicated, in unspecified order.
+func (ix *Index) Candidates(signature []uint64) ([]int, error) {
+	if len(signature) != ix.params.SignatureLen() {
+		return nil, fmt.Errorf("lsh: signature length %d, want %d", len(signature), ix.params.SignatureLen())
+	}
+	seen := map[int]struct{}{}
+	var out []int
+	for b := 0; b < ix.params.Bands; b++ {
+		for _, id := range ix.buckets[b][ix.bandKey(b, signature)] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/minhash"
+	"repro/internal/vector"
+	"repro/internal/wmh"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if (Params{Bands: 0, Rows: 4}).Validate() == nil {
+		t.Fatal("Bands=0 accepted")
+	}
+	if (Params{Bands: 4, Rows: 0}).Validate() == nil {
+		t.Fatal("Rows=0 accepted")
+	}
+	if _, err := New(Params{}); err == nil {
+		t.Fatal("New accepted invalid params")
+	}
+	p := Params{Bands: 8, Rows: 4}
+	if p.SignatureLen() != 32 {
+		t.Fatalf("SignatureLen = %d", p.SignatureLen())
+	}
+	want := math.Pow(1.0/8, 0.25)
+	if math.Abs(p.Threshold()-want) > 1e-12 {
+		t.Fatalf("Threshold = %v, want %v", p.Threshold(), want)
+	}
+}
+
+func TestInsertAndCandidatesBasics(t *testing.T) {
+	ix, _ := New(Params{Bands: 4, Rows: 2})
+	sig := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := ix.Insert(1, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(1, sig); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := ix.Insert(2, sig[:4]); err == nil {
+		t.Fatal("short signature accepted")
+	}
+	if _, err := ix.Candidates(sig[:4]); err == nil {
+		t.Fatal("short query accepted")
+	}
+	got, err := ix.Candidates(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Candidates = %v", got)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestIdenticalSignaturesAlwaysCandidates(t *testing.T) {
+	ix, _ := New(Params{Bands: 2, Rows: 4})
+	sig := []uint64{9, 9, 9, 9, 9, 9, 9, 9}
+	ix.Insert(7, sig)
+	got, _ := ix.Candidates(sig)
+	if len(got) != 1 {
+		t.Fatal("identical signature not retrieved")
+	}
+}
+
+func TestDisjointSignaturesNotCandidates(t *testing.T) {
+	ix, _ := New(Params{Bands: 4, Rows: 4})
+	a := make([]uint64, 16)
+	b := make([]uint64, 16)
+	for i := range a {
+		a[i] = uint64(i)
+		b[i] = uint64(1000 + i)
+	}
+	ix.Insert(1, a)
+	got, _ := ix.Candidates(b)
+	if len(got) != 0 {
+		t.Fatalf("disjoint signature retrieved: %v", got)
+	}
+}
+
+func TestInsertCopiesSignature(t *testing.T) {
+	ix, _ := New(Params{Bands: 1, Rows: 2})
+	sig := []uint64{1, 2}
+	ix.Insert(1, sig)
+	sig[0] = 99
+	got, _ := ix.Candidates([]uint64{1, 2})
+	if len(got) != 1 {
+		t.Fatal("index aliased caller signature")
+	}
+}
+
+// TestSCurveWithMinHash: high-Jaccard pairs are retrieved with high
+// probability, low-Jaccard pairs rarely — the banding S-curve, driven end
+// to end through MinHash signatures.
+func TestSCurveWithMinHash(t *testing.T) {
+	lp := Params{Bands: 16, Rows: 4} // threshold ≈ 0.5
+	mp := minhash.Params{M: lp.SignatureLen(), Seed: 3}
+
+	mk := func(lo, hi uint64) vector.Sparse {
+		m := map[uint64]float64{}
+		for i := lo; i < hi; i++ {
+			m[i] = 1
+		}
+		v, _ := vector.FromMap(100000, m)
+		return v
+	}
+	const trials = 60
+	hit := map[string]int{}
+	for trial := 0; trial < trials; trial++ {
+		p := mp
+		p.Seed = uint64(trial)
+		ix, _ := New(lp)
+		base := mk(0, 300)
+		sb, _ := minhash.New(base, p)
+		if err := ix.Insert(0, sb.Signature()); err != nil {
+			t.Fatal(err)
+		}
+		// J ≈ 0.85 (shift 25 of 300) and J ≈ 0.11 (shift 240 of 300).
+		for name, shift := range map[string]uint64{"high": 25, "low": 240} {
+			q := mk(shift, 300+shift)
+			sq, _ := minhash.New(q, p)
+			cands, err := ix.Candidates(sq.Signature())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cands) > 0 {
+				hit[name]++
+			}
+		}
+	}
+	if frac := float64(hit["high"]) / trials; frac < 0.9 {
+		t.Errorf("high-similarity retrieval rate %.2f, want ≥ 0.9", frac)
+	}
+	if frac := float64(hit["low"]) / trials; frac > 0.15 {
+		t.Errorf("low-similarity retrieval rate %.2f, want ≤ 0.15", frac)
+	}
+}
+
+// TestWeightedRetrievalWithWMH: WMH signatures retrieve by *weighted*
+// similarity — a pair sharing only heavy coordinates is found even though
+// its unweighted support overlap is tiny.
+func TestWeightedRetrievalWithWMH(t *testing.T) {
+	lp := Params{Bands: 16, Rows: 2} // low threshold ≈ 0.25
+	wp := wmh.Params{M: lp.SignatureLen(), Seed: 5, L: 1 << 20}
+
+	rng := hashing.NewSplitMix64(9)
+	// Heavy shared mass on 5 coordinates; 300 light non-shared ones.
+	am := map[uint64]float64{}
+	bm := map[uint64]float64{}
+	for i := uint64(0); i < 5; i++ {
+		am[i] = 50
+		bm[i] = 50
+	}
+	for i := uint64(100); i < 400; i++ {
+		am[i] = rng.Norm() * 0.05
+	}
+	for i := uint64(1000); i < 1300; i++ {
+		bm[i] = rng.Norm() * 0.05
+	}
+	a, _ := vector.FromMap(10000, am)
+	b, _ := vector.FromMap(10000, bm)
+	if j := vector.Jaccard(a, b); j > 0.05 {
+		t.Fatalf("test setup: unweighted Jaccard %v should be tiny", j)
+	}
+
+	retrieved := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		p := wp
+		p.Seed = uint64(trial)
+		ix, _ := New(lp)
+		sa, err := wmh.New(a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Insert(0, sa.Signature())
+		sb, _ := wmh.New(b, p)
+		cands, _ := ix.Candidates(sb.Signature())
+		if len(cands) > 0 {
+			retrieved++
+		}
+	}
+	if frac := float64(retrieved) / trials; frac < 0.9 {
+		t.Errorf("weighted retrieval rate %.2f, want ≥ 0.9 (shared mass dominates)", frac)
+	}
+}
+
+func TestEmptyWMHSignatureNil(t *testing.T) {
+	empty := vector.MustNew(100, nil, nil)
+	s, _ := wmh.New(empty, wmh.Params{M: 8, Seed: 1, L: 1 << 12})
+	if s.Signature() != nil {
+		t.Fatal("empty sketch should have nil signature")
+	}
+}

@@ -1,0 +1,291 @@
+package minhash
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+func binaryRange(lo, hi uint64) vector.Sparse {
+	m := map[uint64]float64{}
+	for i := lo; i < hi; i++ {
+		m[i] = 1
+	}
+	v, err := vector.FromMap(100000, m)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// --- b-bit ---
+
+func TestBBitParamsValidate(t *testing.T) {
+	if (BBitParams{M: 0, B: 1}).Validate() == nil {
+		t.Fatal("M=0 accepted")
+	}
+	for _, b := range []int{0, -1, 65} {
+		if (BBitParams{M: 8, B: b}).Validate() == nil {
+			t.Fatalf("B=%d accepted", b)
+		}
+	}
+	v := binaryRange(0, 4)
+	if _, err := NewBBit(v, BBitParams{M: 8, B: 0}); err == nil {
+		t.Fatal("NewBBit accepted invalid params")
+	}
+	full, _ := New(v, Params{M: 8, Seed: 1})
+	if _, err := TruncateToBBit(full, 99); err == nil {
+		t.Fatal("TruncateToBBit accepted invalid b")
+	}
+}
+
+func TestBBitStorage(t *testing.T) {
+	v := binaryRange(0, 10)
+	s, err := NewBBit(v, BBitParams{M: 128, B: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StorageWords() != 2 { // 128 bits
+		t.Fatalf("StorageWords = %v, want 2", s.StorageWords())
+	}
+	s8, _ := NewBBit(v, BBitParams{M: 128, B: 8, Seed: 1})
+	if s8.StorageWords() != 16 {
+		t.Fatalf("StorageWords(b=8) = %v, want 16", s8.StorageWords())
+	}
+	if s.Params().B != 1 || s.Dim() != v.Dim() {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestBBitPackingRoundTrip(t *testing.T) {
+	// sample(i) must recover exactly what setSample packed, including
+	// across word boundaries (b not dividing 64).
+	v := binaryRange(0, 50)
+	for _, b := range []int{1, 3, 7, 13, 33, 64} {
+		full, _ := New(v, Params{M: 40, Seed: 9})
+		s, err := TruncateToBBit(full, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mask uint64 = ^uint64(0)
+		if b < 64 {
+			mask = (1 << b) - 1
+		}
+		for i := 0; i < 40; i++ {
+			want := full.hashes[i] & mask
+			if got := s.sample(i); got != want {
+				t.Fatalf("b=%d sample %d: got %x want %x", b, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBBitJaccardEstimateConverges(t *testing.T) {
+	// |A∩B| = 300, |A∪B| = 900 → J = 1/3.
+	a := binaryRange(0, 600)
+	b := binaryRange(300, 900)
+	want := 300.0 / 900.0
+	for _, bits := range []int{1, 2, 8} {
+		p := BBitParams{M: 4096, B: bits, Seed: 5}
+		sa, _ := NewBBit(a, p)
+		sb, _ := NewBBit(b, p)
+		got, err := BBitJaccardEstimate(sa, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// b=1 is the noisiest (variance inflated by collision correction).
+		tol := 0.05
+		if bits == 1 {
+			tol = 0.08
+		}
+		if math.Abs(got-want) > tol {
+			t.Errorf("b=%d: Jaccard %v, want ~%v", bits, got, want)
+		}
+	}
+}
+
+func TestBBitCollisionCorrectionMatters(t *testing.T) {
+	// Disjoint sets: raw 1-bit match rate ≈ 1/2, corrected estimate ≈ 0.
+	a := binaryRange(0, 500)
+	b := binaryRange(50000, 50500)
+	p := BBitParams{M: 4096, B: 1, Seed: 7}
+	sa, _ := NewBBit(a, p)
+	sb, _ := NewBBit(b, p)
+	raw := 0
+	for i := 0; i < p.M; i++ {
+		if sa.sample(i) == sb.sample(i) {
+			raw++
+		}
+	}
+	rate := float64(raw) / float64(p.M)
+	if math.Abs(rate-0.5) > 0.05 {
+		t.Fatalf("disjoint 1-bit raw match rate %v, want ~0.5", rate)
+	}
+	got, _ := BBitJaccardEstimate(sa, sb)
+	if got > 0.05 {
+		t.Fatalf("corrected estimate %v, want ~0", got)
+	}
+}
+
+func TestBBitMatchesFullSketchAtB64(t *testing.T) {
+	a := binaryRange(0, 400)
+	b := binaryRange(200, 600)
+	p := Params{M: 2048, Seed: 11}
+	fa, _ := New(a, p)
+	fb, _ := New(b, p)
+	wantJ, _ := JaccardEstimate(fa, fb)
+	ba, _ := TruncateToBBit(fa, 64)
+	bb, _ := TruncateToBBit(fb, 64)
+	got, err := BBitJaccardEstimate(ba, bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-wantJ) > 1e-12 {
+		t.Fatalf("b=64 estimate %v != full-sketch estimate %v", got, wantJ)
+	}
+}
+
+func TestBBitEmptyAndMismatch(t *testing.T) {
+	empty := vector.MustNew(100000, nil, nil)
+	v := binaryRange(0, 10)
+	p := BBitParams{M: 64, B: 2, Seed: 1}
+	se, _ := NewBBit(empty, p)
+	sv, _ := NewBBit(v, p)
+	if !se.IsEmpty() {
+		t.Fatal("empty not flagged")
+	}
+	got, err := BBitJaccardEstimate(se, sv)
+	if err != nil || got != 0 {
+		t.Fatalf("empty estimate %v err %v", got, err)
+	}
+	other, _ := NewBBit(v, BBitParams{M: 64, B: 4, Seed: 1})
+	if _, err := BBitJaccardEstimate(sv, other); err == nil {
+		t.Fatal("param mismatch accepted")
+	}
+}
+
+// --- OPH ---
+
+func TestOPHParamsValidate(t *testing.T) {
+	if (OPHParams{M: 0}).Validate() == nil {
+		t.Fatal("M=0 accepted")
+	}
+	v := binaryRange(0, 4)
+	if _, err := NewOPH(v, OPHParams{M: 0}); err == nil {
+		t.Fatal("NewOPH accepted invalid params")
+	}
+}
+
+func TestOPHDeterministicAndAccessors(t *testing.T) {
+	v := binaryRange(0, 100)
+	p := OPHParams{M: 64, Seed: 3}
+	a, _ := NewOPH(v, p)
+	b, _ := NewOPH(v, p)
+	for i := range a.hashes {
+		if a.hashes[i] != b.hashes[i] || a.vals[i] != b.vals[i] {
+			t.Fatal("OPH not deterministic")
+		}
+	}
+	if a.Params() != p || a.Dim() != v.Dim() || a.StorageWords() != 96 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestOPHSelfSimilarityIsOne(t *testing.T) {
+	v := binaryRange(0, 50) // sparser than m: densification active
+	p := OPHParams{M: 256, Seed: 5}
+	a, _ := NewOPH(v, p)
+	b, _ := NewOPH(v, p)
+	j, err := OPHJaccardEstimate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 1 {
+		t.Fatalf("self similarity %v, want 1", j)
+	}
+}
+
+func TestOPHJaccardConverges(t *testing.T) {
+	a := binaryRange(0, 600)
+	b := binaryRange(300, 900)
+	want := 300.0 / 900.0
+	const trials = 30
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		p := OPHParams{M: 512, Seed: uint64(trial)}
+		sa, _ := NewOPH(a, p)
+		sb, _ := NewOPH(b, p)
+		j, err := OPHJaccardEstimate(sa, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += j
+	}
+	mean := sum / trials
+	if math.Abs(mean-want) > 0.03 {
+		t.Fatalf("mean OPH Jaccard %v, want ~%v", mean, want)
+	}
+}
+
+func TestOPHJaccardSparseVectorsDensified(t *testing.T) {
+	// Supports much smaller than the bin count force heavy densification;
+	// the estimate must still track J.
+	a := binaryRange(0, 60)
+	b := binaryRange(30, 90) // J = 30/90
+	want := 30.0 / 90.0
+	const trials = 40
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		p := OPHParams{M: 512, Seed: uint64(100 + trial)}
+		sa, _ := NewOPH(a, p)
+		sb, _ := NewOPH(b, p)
+		j, err := OPHJaccardEstimate(sa, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += j
+	}
+	mean := sum / trials
+	if math.Abs(mean-want) > 0.05 {
+		t.Fatalf("densified mean Jaccard %v, want ~%v", mean, want)
+	}
+}
+
+func TestOPHDisjointNearZero(t *testing.T) {
+	a := binaryRange(0, 300)
+	b := binaryRange(50000, 50300)
+	p := OPHParams{M: 512, Seed: 13}
+	sa, _ := NewOPH(a, p)
+	sb, _ := NewOPH(b, p)
+	j, err := OPHJaccardEstimate(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j > 0.02 {
+		t.Fatalf("disjoint OPH Jaccard %v, want ~0", j)
+	}
+}
+
+func TestOPHEmptyAndMismatch(t *testing.T) {
+	empty := vector.MustNew(100000, nil, nil)
+	v := binaryRange(0, 10)
+	p := OPHParams{M: 64, Seed: 1}
+	se, _ := NewOPH(empty, p)
+	sv, _ := NewOPH(v, p)
+	if !se.IsEmpty() {
+		t.Fatal("empty not flagged")
+	}
+	if j, err := OPHJaccardEstimate(se, sv); err != nil || j != 0 {
+		t.Fatalf("empty estimate %v err %v", j, err)
+	}
+	other, _ := NewOPH(v, OPHParams{M: 128, Seed: 1})
+	if _, err := OPHJaccardEstimate(sv, other); err == nil {
+		t.Fatal("param mismatch accepted")
+	}
+	w := vector.MustNew(99, []uint64{1}, []float64{1})
+	sw, _ := NewOPH(w, p)
+	if _, err := OPHJaccardEstimate(sv, sw); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}

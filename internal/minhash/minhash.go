@@ -1,0 +1,229 @@
+// Package minhash implements the paper's Algorithm 1 (the augmented
+// unweighted MinHash sketch) and Algorithm 2 (its inner-product estimator).
+//
+// For a vector a with support A = {i : a[i] ≠ 0}, each of the m samples
+// hashes every support index with an independent uniform hash function and
+// records the minimum hash value together with the vector value at the
+// argmin index. The collision probability between two sketches is the
+// Jaccard similarity |A∩B|/|A∪B| (Fact 3), matched values are a uniform
+// sample of the support intersection, and the stored minima double as a
+// Flajolet–Martin-style estimator of |A∪B| (Lemma 1).
+//
+// Hash choice: the paper's analysis (like all MinHash analyses) assumes
+// uniformly random hash functions. A 2-wise affine family h(x) = ax+b mod p
+// is *not* an adequate substitute for the min-wise and union estimators
+// here: on structured supports (e.g. consecutive indices) its values form
+// an arithmetic progression mod p whose minimum is biased by a constant
+// factor, which breaks Lemma 1. We therefore hash each (sample, index)
+// pair through the splitmix64 finalizer — a keyed random-oracle-style hash
+// that is deterministic given the seed, shared across independently
+// sketched vectors, and indistinguishable from uniform for these purposes.
+//
+// Theorem 4 of the paper: for vectors with entries bounded in [−c, c] and
+// m = O(log(1/δ)/ε²), the estimate satisfies
+//
+//	|F − ⟨a,b⟩| ≤ ε·c²·sqrt(max(|A|,|B|)·|A∩B|)
+//
+// with probability 1−δ. The bound degrades when entries vary widely in
+// magnitude — exactly the failure mode Weighted MinHash (package wmh) fixes.
+package minhash
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+// Params configures sketch construction. Two sketches are comparable only
+// if they were built with identical Params.
+type Params struct {
+	// M is the number of MinHash samples (the sketch size).
+	M int
+	// Seed derives every hash function. Sketches with different seeds are
+	// incomparable.
+	Seed uint64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.M <= 0 {
+		return errors.New("minhash: sample count M must be positive")
+	}
+	return nil
+}
+
+// Sketch is the output of Algorithm 1: per sample, the minimum hash value
+// over the vector's support (H^hash) and the vector value at the argmin
+// index (H^val). An all-zero vector produces an empty sketch.
+type Sketch struct {
+	params Params
+	dim    uint64
+	empty  bool
+	hashes []uint64 // 64-bit hash values; compared exactly
+	vals   []float64
+}
+
+// New sketches the vector v (paper Algorithm 1).
+func New(v vector.Sparse, p Params) (*Sketch, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sketch{params: p, dim: v.Dim()}
+	if v.IsEmpty() {
+		s.empty = true
+		return s, nil
+	}
+	s.hashes = make([]uint64, p.M)
+	s.vals = make([]float64, p.M)
+	// Samples are independent; parallelize across them (determinism holds:
+	// each sample's hash function is keyed by its own index).
+	hashing.Parallel(p.M, func(i int) {
+		key := sampleKey(p.Seed, i)
+		minHash := uint64(1<<64 - 1)
+		minVal := 0.0
+		v.Range(func(idx uint64, val float64) bool {
+			if hv := hashing.Mix(key, idx); hv < minHash {
+				minHash = hv
+				minVal = val
+			}
+			return true
+		})
+		s.hashes[i] = minHash
+		s.vals[i] = minVal
+	})
+	return s, nil
+}
+
+// sampleKey derives the i-th sample's hash key from the seed.
+func sampleKey(seed uint64, i int) uint64 {
+	return hashing.Mix(seed, uint64(i), 0x6d68 /* "mh" */)
+}
+
+// Params returns the construction parameters.
+func (s *Sketch) Params() Params { return s.params }
+
+// Dim returns the dimension of the sketched vector.
+func (s *Sketch) Dim() uint64 { return s.dim }
+
+// IsEmpty reports whether the sketched vector had no non-zero entries.
+func (s *Sketch) IsEmpty() bool { return s.empty }
+
+// StorageWords returns the sketch size in 64-bit words under the paper's
+// accounting: each sample stores a 32-bit hash plus a 64-bit value, so a
+// sampling sketch with m samples costs 1.5·m words.
+func (s *Sketch) StorageWords() float64 {
+	return 1.5 * float64(s.params.M)
+}
+
+// Signature returns the per-sample minimum hash values as an LSH
+// signature: entries of two signatures built with the same Params collide
+// with probability equal to the Jaccard similarity of the supports. Empty
+// sketches return nil.
+func (s *Sketch) Signature() []uint64 {
+	return append([]uint64(nil), s.hashes...)
+}
+
+// compatible reports why two sketches cannot be compared, or nil.
+func compatible(a, b *Sketch) error {
+	if a.params != b.params {
+		return fmt.Errorf("minhash: incompatible params %+v vs %+v", a.params, b.params)
+	}
+	if a.dim != b.dim {
+		return fmt.Errorf("minhash: dimension mismatch %d vs %d", a.dim, b.dim)
+	}
+	return nil
+}
+
+// Estimate implements Algorithm 2: an estimate of ⟨a, b⟩ from the two
+// sketches alone.
+func Estimate(a, b *Sketch) (float64, error) {
+	if err := compatible(a, b); err != nil {
+		return 0, err
+	}
+	if a.empty || b.empty {
+		return 0, nil
+	}
+	m := a.params.M
+	// Line 1: Ũ = m / Σ_i min(H_a[i], H_b[i]) − 1, the union-size
+	// estimator of Lemma 1.
+	sumMin := 0.0
+	for i := 0; i < m; i++ {
+		sumMin += unit(min64(a.hashes[i], b.hashes[i]))
+	}
+	uTilde := float64(m)/sumMin - 1
+	// Line 2: (Ũ/m) Σ_i 1[H_a[i]=H_b[i]] · H_a^val[i]·H_b^val[i].
+	sum := 0.0
+	for i := 0; i < m; i++ {
+		if a.hashes[i] == b.hashes[i] {
+			sum += a.vals[i] * b.vals[i]
+		}
+	}
+	return uTilde / float64(m) * sum, nil
+}
+
+// JaccardEstimate returns the fraction of colliding samples, an unbiased
+// estimate of |A∩B| / |A∪B| (Fact 3, claim 1).
+func JaccardEstimate(a, b *Sketch) (float64, error) {
+	if err := compatible(a, b); err != nil {
+		return 0, err
+	}
+	if a.empty || b.empty {
+		return 0, nil
+	}
+	matches := 0
+	for i := range a.hashes {
+		if a.hashes[i] == b.hashes[i] {
+			matches++
+		}
+	}
+	return float64(matches) / float64(len(a.hashes)), nil
+}
+
+// UnionEstimate returns the Lemma 1 estimator Ũ ≈ |A∪B|.
+func UnionEstimate(a, b *Sketch) (float64, error) {
+	if err := compatible(a, b); err != nil {
+		return 0, err
+	}
+	if a.empty && b.empty {
+		return 0, nil
+	}
+	sumMin := 0.0
+	for i := 0; i < a.params.M; i++ {
+		switch {
+		case a.empty:
+			sumMin += unit(b.hashes[i])
+		case b.empty:
+			sumMin += unit(a.hashes[i])
+		default:
+			sumMin += unit(min64(a.hashes[i], b.hashes[i]))
+		}
+	}
+	return float64(a.params.M)/sumMin - 1, nil
+}
+
+// DistinctEstimate returns the Lemma 1 estimator applied to a single
+// sketch: an estimate of the vector's support size |A|.
+func (s *Sketch) DistinctEstimate() float64 {
+	if s.empty {
+		return 0
+	}
+	sum := 0.0
+	for _, h := range s.hashes {
+		sum += unit(h)
+	}
+	return float64(s.params.M)/sum - 1
+}
+
+// unit maps a 64-bit hash value to the open interval (0, 1).
+func unit(h uint64) float64 {
+	return hashing.UnitFromBits(h)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

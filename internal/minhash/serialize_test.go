@@ -1,0 +1,88 @@
+package minhash
+
+import (
+	"testing"
+
+	"repro/internal/vector"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	v := vector.MustNew(1000, []uint64{1, 50, 999}, []float64{1.5, -2, 3})
+	p := Params{M: 32, Seed: 7}
+	s := mustSketch(t, v, p)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Params() != p || got.Dim() != 1000 {
+		t.Fatal("metadata lost")
+	}
+	other := mustSketch(t, v, p)
+	e1, err := Estimate(&got, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := Estimate(s, other)
+	if e1 != e2 {
+		t.Fatalf("decoded estimate %v != original %v", e1, e2)
+	}
+}
+
+func TestSerializeEmpty(t *testing.T) {
+	s := mustSketch(t, vector.MustNew(10, nil, nil), Params{M: 8, Seed: 1})
+	data, _ := s.MarshalBinary()
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsEmpty() {
+		t.Fatal("empty flag lost")
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	v := vector.MustNew(10, []uint64{1}, []float64{1})
+	s := mustSketch(t, v, Params{M: 8, Seed: 1})
+	data, _ := s.MarshalBinary()
+	var got Sketch
+	if err := got.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if err := got.UnmarshalBinary(data[:12]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if err := got.UnmarshalBinary(append(data, 1)); err == nil {
+		t.Fatal("trailing accepted")
+	}
+	// M = 0.
+	bad := append([]byte(nil), data...)
+	for i := 0; i < 8; i++ {
+		bad[i] = 0
+	}
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+	// Claim empty while carrying samples: flip the empty byte (offset 24).
+	bad2 := append([]byte(nil), data...)
+	bad2[24] = 1
+	if err := got.UnmarshalBinary(bad2); err == nil {
+		t.Fatal("empty-with-samples accepted")
+	}
+}
+
+func TestUnmarshalRejectsWrongSampleCount(t *testing.T) {
+	v := vector.MustNew(10, []uint64{1}, []float64{1})
+	s := mustSketch(t, v, Params{M: 8, Seed: 1})
+	data, _ := s.MarshalBinary()
+	// Bump M to 9 without adding samples.
+	bad := append([]byte(nil), data...)
+	bad[0] = 9
+	var got Sketch
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("sample-count mismatch accepted")
+	}
+}

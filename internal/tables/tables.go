@@ -1,0 +1,356 @@
+// Package tables is the dataset-search substrate from Section 1.2 of the
+// paper: keyed tables, one-to-one joins, the post-join statistics analysts
+// care about (join size, sums, means, variances, covariance, correlation),
+// and the vector representations x_1[K] and x_V that reduce all of those
+// statistics to inner products so they can be estimated from sketches
+// without materializing the join.
+//
+// Conventions:
+//
+//   - A key is a uint64; string keys are mapped through KeyFromString.
+//   - The vector dimension is the key domain size (the paper: "set n large
+//     enough to cover the whole domain of the keys, e.g. n = 2^32 or 2^64");
+//     DefaultKeySpace is 2^63.
+//   - One-to-one joins require unique keys; many-to-many inputs are reduced
+//     with Aggregate first (paper footnote 3).
+package tables
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hashing"
+	"repro/internal/stats"
+	"repro/internal/vector"
+)
+
+// DefaultKeySpace is the default vector dimension for key domains.
+const DefaultKeySpace uint64 = 1 << 63
+
+// KeyFromString maps an arbitrary string key into the key domain with a
+// 64-bit mixing hash (collision probability ~2^-63 per pair under
+// DefaultKeySpace).
+func KeyFromString(s string) uint64 {
+	h := uint64(0x9AE16A3B2F90404F)
+	for i := 0; i < len(s); i++ {
+		h = hashing.Mix(h, uint64(s[i]))
+	}
+	return h % DefaultKeySpace
+}
+
+// Table is a named table with one key column and any number of float64
+// value columns, all parallel slices.
+type Table struct {
+	name     string
+	keys     []uint64
+	colNames []string
+	cols     map[string][]float64
+}
+
+// New builds a table. Every column must have the same length as keys.
+// Duplicate keys are allowed at construction; one-to-one operations
+// (Join, vectorization) reject them until Aggregate is applied.
+func New(name string, keys []uint64, cols map[string][]float64) (*Table, error) {
+	t := &Table{
+		name: name,
+		keys: append([]uint64(nil), keys...),
+		cols: make(map[string][]float64, len(cols)),
+	}
+	for c := range cols {
+		t.colNames = append(t.colNames, c)
+	}
+	sort.Strings(t.colNames)
+	for _, c := range t.colNames {
+		if len(cols[c]) != len(keys) {
+			return nil, fmt.Errorf("tables: column %q has %d rows, key column has %d", c, len(cols[c]), len(keys))
+		}
+		for _, v := range cols[c] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("tables: column %q contains a non-finite value", c)
+			}
+		}
+		t.cols[c] = append([]float64(nil), cols[c]...)
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; intended for tests and literals.
+func MustNew(name string, keys []uint64, cols map[string][]float64) *Table {
+	t, err := New(name, keys, cols)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.keys) }
+
+// Keys returns the key column (caller must not modify).
+func (t *Table) Keys() []uint64 { return t.keys }
+
+// ColumnNames returns the value column names in sorted order.
+func (t *Table) ColumnNames() []string { return t.colNames }
+
+// Column returns a value column (caller must not modify). The second
+// return reports whether the column exists.
+func (t *Table) Column(name string) ([]float64, bool) {
+	c, ok := t.cols[name]
+	return c, ok
+}
+
+// HasDuplicateKeys reports whether any key appears more than once.
+func (t *Table) HasDuplicateKeys() bool {
+	seen := make(map[uint64]struct{}, len(t.keys))
+	for _, k := range t.keys {
+		if _, dup := seen[k]; dup {
+			return true
+		}
+		seen[k] = struct{}{}
+	}
+	return false
+}
+
+// Agg selects the aggregation function used to reduce duplicate keys.
+type Agg int
+
+// Aggregation functions (paper footnote 3: "a typical approach is to use a
+// data aggregation function to reduce to the one-to-one setting").
+const (
+	AggSum Agg = iota
+	AggMean
+	AggCount
+	AggMin
+	AggMax
+	AggFirst
+)
+
+// String names the aggregation.
+func (a Agg) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggMean:
+		return "mean"
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggFirst:
+		return "first"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// Aggregate groups rows by key and reduces every value column with the
+// given function, producing a table with unique keys sorted ascending.
+func (t *Table) Aggregate(agg Agg) (*Table, error) {
+	type acc struct {
+		sum, min, max, first float64
+		n                    int
+	}
+	groups := make(map[uint64][]acc) // key → per-column accumulator
+	order := make([]uint64, 0, len(t.keys))
+	for row, k := range t.keys {
+		g, ok := groups[k]
+		if !ok {
+			g = make([]acc, len(t.colNames))
+			order = append(order, k)
+		}
+		for ci, c := range t.colNames {
+			v := t.cols[c][row]
+			a := &g[ci]
+			if a.n == 0 {
+				a.min, a.max, a.first = v, v, v
+			} else {
+				if v < a.min {
+					a.min = v
+				}
+				if v > a.max {
+					a.max = v
+				}
+			}
+			a.sum += v
+			a.n++
+		}
+		groups[k] = g
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	keys := make([]uint64, len(order))
+	cols := make(map[string][]float64, len(t.colNames))
+	for _, c := range t.colNames {
+		cols[c] = make([]float64, len(order))
+	}
+	for i, k := range order {
+		keys[i] = k
+		for ci, c := range t.colNames {
+			a := groups[k][ci]
+			var v float64
+			switch agg {
+			case AggSum:
+				v = a.sum
+			case AggMean:
+				v = a.sum / float64(a.n)
+			case AggCount:
+				v = float64(a.n)
+			case AggMin:
+				v = a.min
+			case AggMax:
+				v = a.max
+			case AggFirst:
+				v = a.first
+			default:
+				return nil, fmt.Errorf("tables: unknown aggregation %v", agg)
+			}
+			cols[c][i] = v
+		}
+	}
+	return New(t.name+"#"+agg.String(), keys, cols)
+}
+
+// ErrDuplicateKeys is returned by one-to-one operations on tables with
+// repeated keys.
+var ErrDuplicateKeys = errors.New("tables: table has duplicate keys (aggregate first)")
+
+// JoinResult is the materialization of a one-to-one join T_A ⋈ T_B
+// restricted to one value column from each side.
+type JoinResult struct {
+	Keys []uint64
+	VA   []float64
+	VB   []float64
+}
+
+// Join materializes the one-to-one join of a and b on their keys, keeping
+// value columns colA (from a) and colB (from b). Both tables must have
+// unique keys.
+func Join(a, b *Table, colA, colB string) (*JoinResult, error) {
+	va, ok := a.Column(colA)
+	if !ok {
+		return nil, fmt.Errorf("tables: table %q has no column %q", a.name, colA)
+	}
+	vb, ok := b.Column(colB)
+	if !ok {
+		return nil, fmt.Errorf("tables: table %q has no column %q", b.name, colB)
+	}
+	if a.HasDuplicateKeys() || b.HasDuplicateKeys() {
+		return nil, ErrDuplicateKeys
+	}
+	bIndex := make(map[uint64]int, len(b.keys))
+	for i, k := range b.keys {
+		bIndex[k] = i
+	}
+	res := &JoinResult{}
+	for i, k := range a.keys {
+		if j, ok := bIndex[k]; ok {
+			res.Keys = append(res.Keys, k)
+			res.VA = append(res.VA, va[i])
+			res.VB = append(res.VB, vb[j])
+		}
+	}
+	return res, nil
+}
+
+// Size returns SIZE(T_A⋈B), the number of joined rows.
+func (r *JoinResult) Size() int { return len(r.Keys) }
+
+// SumA returns SUM(V_A⋈).
+func (r *JoinResult) SumA() float64 { return sum(r.VA) }
+
+// SumB returns SUM(V_B⋈).
+func (r *JoinResult) SumB() float64 { return sum(r.VB) }
+
+// MeanA returns MEAN(V_A⋈) (NaN for an empty join).
+func (r *JoinResult) MeanA() float64 { return stats.Mean(r.VA) }
+
+// MeanB returns MEAN(V_B⋈) (NaN for an empty join).
+func (r *JoinResult) MeanB() float64 { return stats.Mean(r.VB) }
+
+// VarA returns the population variance of V_A⋈ (NaN for an empty join).
+func (r *JoinResult) VarA() float64 { return stats.Variance(r.VA) }
+
+// VarB returns the population variance of V_B⋈ (NaN for an empty join).
+func (r *JoinResult) VarB() float64 { return stats.Variance(r.VB) }
+
+// InnerProduct returns ⟨x_VA, x_VB⟩ restricted to the join, the post-join
+// inner product of §1.2.
+func (r *JoinResult) InnerProduct() float64 {
+	s := 0.0
+	for i := range r.VA {
+		s += r.VA[i] * r.VB[i]
+	}
+	return s
+}
+
+// Covariance returns the population covariance of (V_A⋈, V_B⋈).
+func (r *JoinResult) Covariance() float64 { return stats.Covariance(r.VA, r.VB) }
+
+// Correlation returns the Pearson correlation of (V_A⋈, V_B⋈) — the
+// join-correlation statistic of Santos et al. that motivates §1.2.
+func (r *JoinResult) Correlation() float64 { return stats.Correlation(r.VA, r.VB) }
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// KeyIndicator returns x_1[K]: the binary vector over the key domain with
+// a 1 at every key of t (Figure 3 of the paper). Fails on duplicate keys.
+func (t *Table) KeyIndicator(keySpace uint64) (vector.Sparse, error) {
+	if t.HasDuplicateKeys() {
+		return vector.Sparse{}, ErrDuplicateKeys
+	}
+	m := make(map[uint64]float64, len(t.keys))
+	for _, k := range t.keys {
+		if k >= keySpace {
+			return vector.Sparse{}, fmt.Errorf("tables: key %d outside key space %d", k, keySpace)
+		}
+		m[k] = 1
+	}
+	return vector.FromMap(keySpace, m)
+}
+
+// ValueVector returns x_V for the named column: the vector over the key
+// domain holding the column value at each key index (Figure 3). Zero
+// values vanish from the sparse representation — exactly as in the paper,
+// where a zero entry is indistinguishable from a missing key; callers who
+// need to distinguish should estimate with the key-indicator vector.
+func (t *Table) ValueVector(keySpace uint64, col string) (vector.Sparse, error) {
+	c, ok := t.Column(col)
+	if !ok {
+		return vector.Sparse{}, fmt.Errorf("tables: no column %q", col)
+	}
+	if t.HasDuplicateKeys() {
+		return vector.Sparse{}, ErrDuplicateKeys
+	}
+	m := make(map[uint64]float64, len(t.keys))
+	for i, k := range t.keys {
+		if k >= keySpace {
+			return vector.Sparse{}, fmt.Errorf("tables: key %d outside key space %d", k, keySpace)
+		}
+		m[k] = c[i]
+	}
+	return vector.FromMap(keySpace, m)
+}
+
+// SquaredValueVector returns x_{V²}, the element-wise square of x_V. The
+// paper notes sketching (x_V)² "opens up the possibility of estimating
+// other quantities like post-join variance".
+func (t *Table) SquaredValueVector(keySpace uint64, col string) (vector.Sparse, error) {
+	v, err := t.ValueVector(keySpace, col)
+	if err != nil {
+		return vector.Sparse{}, err
+	}
+	return v.Map(func(x float64) float64 { return x * x }), nil
+}

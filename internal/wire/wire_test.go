@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	var w Writer
+	w.U64(42)
+	w.U32(7)
+	w.I64(-99)
+	w.F64(3.14159)
+	w.F64(math.Inf(-1))
+	w.Bool(true)
+	w.Bool(false)
+	w.Byte(0xAB)
+
+	r := NewReader(w.Bytes())
+	if r.U64() != 42 || r.U32() != 7 || r.I64() != -99 {
+		t.Fatal("integer round trip failed")
+	}
+	if r.F64() != 3.14159 || !math.IsInf(r.F64(), -1) {
+		t.Fatal("float round trip failed")
+	}
+	if !r.Bool() || r.Bool() || r.Byte() != 0xAB {
+		t.Fatal("bool/byte round trip failed")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripSlices(t *testing.T) {
+	f := func(us []uint64, is []int64, fs []float64) bool {
+		// NaN breaks equality; replace.
+		for i, v := range fs {
+			if math.IsNaN(v) {
+				fs[i] = 1
+			}
+		}
+		var w Writer
+		w.U64s(us)
+		w.I64s(is)
+		w.F64s(fs)
+		r := NewReader(w.Bytes())
+		gu, gi, gf := r.U64s(), r.I64s(), r.F64s()
+		if err := r.Close(); err != nil {
+			return false
+		}
+		if len(gu) != len(us) || len(gi) != len(is) || len(gf) != len(fs) {
+			return false
+		}
+		for i := range us {
+			if gu[i] != us[i] {
+				return false
+			}
+		}
+		for i := range is {
+			if gi[i] != is[i] {
+				return false
+			}
+		}
+		for i := range fs {
+			if gf[i] != fs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaNRoundTrip(t *testing.T) {
+	var w Writer
+	w.F64(math.NaN())
+	r := NewReader(w.Bytes())
+	if !math.IsNaN(r.F64()) {
+		t.Fatal("NaN bits not preserved")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	var w Writer
+	w.U64(1)
+	data := w.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		r := NewReader(data[:cut])
+		r.U64()
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Fatalf("cut=%d: no truncation error", cut)
+		}
+		// Sticky: further reads keep failing without panicking.
+		r.F64()
+		r.U64s()
+		if !errors.Is(r.Close(), ErrTruncated) {
+			t.Fatal("Close lost the sticky error")
+		}
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	var w Writer
+	w.U64(1)
+	w.Byte(0xFF)
+	r := NewReader(w.Bytes())
+	r.U64()
+	if !errors.Is(r.Close(), ErrTrailing) {
+		t.Fatal("trailing bytes not reported")
+	}
+}
+
+func TestImplausibleSliceLength(t *testing.T) {
+	var w Writer
+	w.U64(1 << 40) // claimed length with no payload
+	r := NewReader(w.Bytes())
+	if got := r.U64s(); got != nil {
+		t.Fatal("hostile slice length produced data")
+	}
+	if r.Err() == nil {
+		t.Fatal("hostile slice length not rejected")
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	var w Writer
+	w.U64s(nil)
+	w.I64s(nil)
+	w.F64s(nil)
+	r := NewReader(w.Bytes())
+	if r.U64s() != nil || r.I64s() != nil || r.F64s() != nil {
+		t.Fatal("empty slices should decode to nil")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

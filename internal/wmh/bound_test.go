@@ -1,0 +1,121 @@
+package wmh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+func TestErrorBoundConvergesToTheorem2Scale(t *testing.T) {
+	rng := hashing.NewSplitMix64(3)
+	a := randomSparse(rng, 500, 80, true)
+	bm := map[uint64]float64{}
+	a.Range(func(i uint64, v float64) bool {
+		if rng.Float64() < 0.4 {
+			bm[i] = v * (0.5 + rng.Float64())
+		}
+		return true
+	})
+	for len(bm) < 90 {
+		bm[rng.Uint64n(500)] = rng.Norm()
+	}
+	b, _ := vector.FromMap(500, bm)
+	want := vector.WMHBound(a, b)
+
+	const trials = 30
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		p := Params{M: 512, Seed: uint64(trial), L: 1 << 20}
+		sa, _ := New(a, p)
+		sb, _ := New(b, p)
+		got, err := EstimateErrorBound(sa, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += got.Scale
+		if math.Abs(got.PerSqrtM-got.Scale/math.Sqrt(512)) > 1e-12 {
+			t.Fatal("PerSqrtM inconsistent with Scale")
+		}
+	}
+	mean := sum / trials
+	if math.Abs(mean-want)/want > 0.15 {
+		t.Fatalf("mean bound estimate %v, want ~%v", mean, want)
+	}
+}
+
+func TestErrorBoundDisjointIsZero(t *testing.T) {
+	a := vector.MustNew(1000, []uint64{1, 2}, []float64{1, 2})
+	b := vector.MustNew(1000, []uint64{500, 600}, []float64{3, 4})
+	p := Params{M: 64, Seed: 1, L: 1 << 14}
+	sa, _ := New(a, p)
+	sb, _ := New(b, p)
+	got, err := EstimateErrorBound(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != 0 {
+		t.Fatalf("disjoint bound %v, want 0 (no matches possible)", got.Scale)
+	}
+}
+
+func TestErrorBoundEmptyAndErrors(t *testing.T) {
+	empty := vector.MustNew(100, nil, nil)
+	v := vector.MustNew(100, []uint64{1}, []float64{1})
+	p := Params{M: 16, Seed: 1, L: 1 << 12}
+	se, _ := New(empty, p)
+	sv, _ := New(v, p)
+	got, err := EstimateErrorBound(se, sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != 0 || got.PerSqrtM != 0 {
+		t.Fatal("empty bound should be zero")
+	}
+	other, _ := New(v, Params{M: 16, Seed: 2, L: 1 << 12})
+	if _, err := EstimateErrorBound(sv, other); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+}
+
+// TestErrorBoundCoversActualError: across trials, the actual estimation
+// error should rarely exceed a few multiples of the estimated PerSqrtM.
+func TestErrorBoundCoversActualError(t *testing.T) {
+	rng := hashing.NewSplitMix64(7)
+	a := randomSparse(rng, 400, 60, true)
+	bm := map[uint64]float64{}
+	a.Range(func(i uint64, v float64) bool {
+		if rng.Float64() < 0.5 {
+			bm[i] = v + 0.3*rng.Norm()
+		}
+		return true
+	})
+	for len(bm) < 70 {
+		bm[rng.Uint64n(400)] = rng.Norm()
+	}
+	b, _ := vector.FromMap(400, bm)
+	truth := vector.Dot(a, b)
+
+	const trials = 40
+	violations := 0
+	for trial := 0; trial < trials; trial++ {
+		p := Params{M: 256, Seed: uint64(trial + 50), L: 1 << 20}
+		sa, _ := New(a, p)
+		sb, _ := New(b, p)
+		est, err := Estimate(sa, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := EstimateErrorBound(sa, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-truth) > 6*bound.PerSqrtM {
+			violations++
+		}
+	}
+	if violations > trials/10 {
+		t.Fatalf("%d/%d trials exceeded 6× the estimated error scale", violations, trials)
+	}
+}

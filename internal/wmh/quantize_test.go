@@ -1,0 +1,103 @@
+package wmh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+func TestQuantizedStorageAccounting(t *testing.T) {
+	v := vector.MustNew(100, []uint64{1, 2}, []float64{1, 2})
+	full := mustSketch(t, v, Params{M: 100, Seed: 1, L: 1 << 14})
+	if full.StorageWords() != 151 {
+		t.Fatalf("full storage %v, want 151", full.StorageWords())
+	}
+	q := mustSketch(t, v, Params{M: 100, Seed: 1, L: 1 << 14, QuantizeValues: true})
+	if q.StorageWords() != 101 {
+		t.Fatalf("quantized storage %v, want 101", q.StorageWords())
+	}
+}
+
+func TestQuantizedIncompatibleWithFull(t *testing.T) {
+	v := vector.MustNew(100, []uint64{1, 2}, []float64{1, 2})
+	full := mustSketch(t, v, Params{M: 16, Seed: 1, L: 1 << 14})
+	q := mustSketch(t, v, Params{M: 16, Seed: 1, L: 1 << 14, QuantizeValues: true})
+	if _, err := Estimate(full, q); err == nil {
+		t.Fatal("quantized/full mix accepted")
+	}
+}
+
+func TestQuantizedValuesFitFloat32(t *testing.T) {
+	rng := hashing.NewSplitMix64(3)
+	v := randomSparse(rng, 500, 80, true)
+	s := mustSketch(t, v, Params{M: 64, Seed: 5, L: 1 << 20, QuantizeValues: true})
+	for i, val := range s.vals {
+		if float64(float32(val)) != val {
+			t.Fatalf("sample %d value %v is not float32-representable", i, val)
+		}
+	}
+}
+
+// TestQuantizedEstimateNearlyIdentical: quantization perturbs estimates by
+// at most the float32 rounding of the stored values.
+func TestQuantizedEstimateNearlyIdentical(t *testing.T) {
+	rng := hashing.NewSplitMix64(7)
+	a := randomSparse(rng, 500, 80, true)
+	bm := map[uint64]float64{}
+	a.Range(func(i uint64, v float64) bool {
+		if rng.Float64() < 0.5 {
+			bm[i] = v * (0.5 + rng.Float64())
+		}
+		return true
+	})
+	for len(bm) < 80 {
+		bm[rng.Uint64n(500)] = rng.Norm()
+	}
+	b, _ := vector.FromMap(500, bm)
+
+	pf := Params{M: 256, Seed: 9, L: 1 << 20}
+	pq := pf
+	pq.QuantizeValues = true
+	ef, err := Estimate(mustSketch(t, a, pf), mustSketch(t, b, pf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Estimate(mustSketch(t, a, pq), mustSketch(t, b, pq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := a.Norm() * b.Norm()
+	if math.Abs(ef-eq)/scale > 1e-5 {
+		t.Fatalf("quantization moved the estimate: %v vs %v", ef, eq)
+	}
+}
+
+// TestQuantizedSerializationRoundTrip: the flag survives serialization and
+// decoded sketches stay compatible with freshly built quantized sketches.
+func TestQuantizedSerializationRoundTrip(t *testing.T) {
+	v := vector.MustNew(100, []uint64{1, 2, 3}, []float64{1, -2, 3})
+	p := Params{M: 32, Seed: 11, L: 1 << 14, QuantizeValues: true}
+	s := mustSketch(t, v, p)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Sketch
+	if err := decoded.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Params().QuantizeValues {
+		t.Fatal("quantize flag lost in round trip")
+	}
+	other := mustSketch(t, v, p)
+	got, err := Estimate(&decoded, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Estimate(s, other)
+	if got != want {
+		t.Fatalf("decoded estimate %v != original %v", got, want)
+	}
+}

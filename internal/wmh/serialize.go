@@ -1,0 +1,71 @@
+package wmh
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/wire"
+)
+
+// MarshalBinary encodes the sketch. Layout: M, Seed, L(param), quantized,
+// L(resolved), dim, norm, empty, variant, hashes, vals.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	w.U64(uint64(s.params.M))
+	w.U64(s.params.Seed)
+	w.U64(s.params.L)
+	w.Bool(s.params.QuantizeValues)
+	w.U64(s.l)
+	w.U64(s.dim)
+	w.F64(s.norm)
+	w.Bool(s.empty)
+	w.Byte(byte(s.variant))
+	w.F64s(s.hashes)
+	w.F64s(s.vals)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes into s, validating structural invariants.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m := r.U64()
+	seed := r.U64()
+	lParam := r.U64()
+	quantized := r.Bool()
+	l := r.U64()
+	dim := r.U64()
+	norm := r.F64()
+	empty := r.Bool()
+	vr := variant(r.Byte())
+	hashes := r.F64s()
+	vals := r.F64s()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("wmh: decoding sketch: %w", err)
+	}
+	p := Params{M: int(m), Seed: seed, L: lParam, QuantizeValues: quantized}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if vr != variantFast && vr != variantNaive {
+		return fmt.Errorf("wmh: unknown sketch variant %d", vr)
+	}
+	if l == 0 || l > MaxL {
+		return fmt.Errorf("wmh: resolved L %d out of range", l)
+	}
+	if math.IsNaN(norm) || math.IsInf(norm, 0) || norm < 0 {
+		return fmt.Errorf("wmh: invalid stored norm %v", norm)
+	}
+	if empty {
+		if len(hashes) != 0 || len(vals) != 0 {
+			return errors.New("wmh: empty sketch with samples")
+		}
+	} else if len(hashes) != int(m) || len(vals) != int(m) {
+		return fmt.Errorf("wmh: sketch has %d/%d samples, want %d", len(hashes), len(vals), m)
+	}
+	*s = Sketch{
+		params: p, dim: dim, l: l, norm: norm,
+		empty: empty, variant: vr, hashes: hashes, vals: vals,
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package worldbank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/stats"
+)
+
+func newRNG() *hashing.SplitMix64 { return hashing.NewSplitMix64(99) }
+
+func kurtosisOf(xs []float64) float64 { return stats.Kurtosis(xs) }
+
+func TestValidate(t *testing.T) {
+	if PaperLakeParams(1).Validate() != nil {
+		t.Fatal("paper params rejected")
+	}
+	bad := []LakeParams{
+		{NumTables: 0, ColumnsPerTable: 1, MaxRows: 1, Universe: 10},
+		{NumTables: 1, ColumnsPerTable: 0, MaxRows: 1, Universe: 10},
+		{NumTables: 1, ColumnsPerTable: 1, MaxRows: 0, Universe: 10},
+		{NumTables: 1, ColumnsPerTable: 1, MaxRows: 100, Universe: 10},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+		if _, err := GenerateLake(p); err == nil {
+			t.Errorf("GenerateLake accepted bad params %d", i)
+		}
+	}
+}
+
+func TestGenerateLakeShape(t *testing.T) {
+	p := PaperLakeParams(7)
+	lake, err := GenerateLake(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lake) != 56 {
+		t.Fatalf("lake has %d tables, want 56", len(lake))
+	}
+	for _, tab := range lake {
+		if tab.NumRows() < p.MaxRows/4 || tab.NumRows() > p.MaxRows {
+			t.Fatalf("table %s has %d rows, outside [%d, %d]",
+				tab.Name(), tab.NumRows(), p.MaxRows/4, p.MaxRows)
+		}
+		if len(tab.ColumnNames()) != p.ColumnsPerTable {
+			t.Fatalf("table %s has %d columns", tab.Name(), len(tab.ColumnNames()))
+		}
+		if tab.HasDuplicateKeys() {
+			t.Fatalf("table %s has duplicate keys", tab.Name())
+		}
+		for _, k := range tab.Keys() {
+			if k >= p.Universe {
+				t.Fatalf("key %d outside universe", k)
+			}
+		}
+	}
+}
+
+func TestGenerateLakeDeterministic(t *testing.T) {
+	a, _ := GenerateLake(PaperLakeParams(3))
+	b, _ := GenerateLake(PaperLakeParams(3))
+	for i := range a {
+		ka, kb := a[i].Keys(), b[i].Keys()
+		if len(ka) != len(kb) {
+			t.Fatal("lakes differ in shape")
+		}
+		for j := range ka {
+			if ka[j] != kb[j] {
+				t.Fatal("lakes differ in keys")
+			}
+		}
+	}
+	c, _ := GenerateLake(PaperLakeParams(4))
+	if len(c[0].Keys()) == len(a[0].Keys()) && c[0].Keys()[0] == a[0].Keys()[0] &&
+		len(c[1].Keys()) == len(a[1].Keys()) && c[1].Keys()[0] == a[1].Keys()[0] {
+		t.Fatal("different seeds produced suspiciously identical lakes")
+	}
+}
+
+func TestColumnsAndPairsCovariates(t *testing.T) {
+	p := PaperLakeParams(11)
+	lake, _ := GenerateLake(p)
+	cols, err := Columns(lake, p.Universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != p.NumTables*p.ColumnsPerTable {
+		t.Fatalf("got %d columns, want %d", len(cols), p.NumTables*p.ColumnsPerTable)
+	}
+	for _, c := range cols {
+		if math.Abs(c.Vec.Norm()-1) > 1e-9 {
+			t.Fatalf("column %s.%s not normalized", c.Table, c.Col)
+		}
+	}
+	pairs := Pairs(cols, 500, 1)
+	if len(pairs) != 500 {
+		t.Fatalf("got %d pairs, want 500", len(pairs))
+	}
+	lowOverlap, highOverlap, highKurt, lowKurt := 0, 0, 0, 0
+	for _, pr := range pairs {
+		if cols[pr.I].Table == cols[pr.J].Table {
+			t.Fatal("pair from the same table")
+		}
+		if pr.Overlap < 0 || pr.Overlap > 1 {
+			t.Fatalf("overlap %v outside [0,1]", pr.Overlap)
+		}
+		if pr.Overlap <= 0.1 {
+			lowOverlap++
+		}
+		if pr.Overlap > 0.5 {
+			highOverlap++
+		}
+		if pr.Kurtosis > 10 {
+			highKurt++
+		}
+		if pr.Kurtosis <= 4 {
+			lowKurt++
+		}
+	}
+	// The experiment needs all Figure 5 buckets populated.
+	for name, n := range map[string]int{
+		"low overlap": lowOverlap, "high overlap": highOverlap,
+		"high kurtosis": highKurt, "low kurtosis": lowKurt,
+	} {
+		if n == 0 {
+			t.Errorf("no pairs in the %s bucket", name)
+		}
+	}
+}
+
+func TestPairsMaxPairsRespected(t *testing.T) {
+	p := PaperLakeParams(13)
+	lake, _ := GenerateLake(p)
+	cols, err := Columns(lake, p.Universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := Pairs(cols, 50, 2)
+	if len(pairs) > 50 {
+		t.Fatalf("maxPairs not respected: %d", len(pairs))
+	}
+	all := Pairs(cols, 0, 2)
+	if len(all) <= 50 {
+		t.Fatalf("maxPairs=0 should return all pairs, got %d", len(all))
+	}
+}
+
+func TestValueShapesCoverKurtosisRange(t *testing.T) {
+	rng := newRNG()
+	kurts := map[valueShape]float64{}
+	for s := valueShape(0); s < numShapes; s++ {
+		xs := make([]float64, 20000)
+		for i := range xs {
+			xs[i] = drawValue(rng, s, latentFactor(7, uint64(i)))
+		}
+		kurts[s] = kurtosisOf(xs)
+	}
+	if !(kurts[shapeBimodal] < kurts[shapeNormal]) {
+		t.Errorf("bimodal kurtosis %v not below normal %v", kurts[shapeBimodal], kurts[shapeNormal])
+	}
+	if !(kurts[shapeNormal] < kurts[shapeHeavy]) {
+		t.Errorf("normal kurtosis %v not below heavy %v", kurts[shapeNormal], kurts[shapeHeavy])
+	}
+	if kurts[shapeHeavy] < 20 {
+		t.Errorf("heavy shape kurtosis %v too low to populate high buckets", kurts[shapeHeavy])
+	}
+}
+
+func TestDrawValuePanicsOnUnknownShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown shape did not panic")
+		}
+	}()
+	drawValue(newRNG(), numShapes, 0)
+}
+
+// TestHeavyColumnsAlignAcrossTables: the latent factor makes the extreme
+// values of two heavy columns land on the same shared keys — the structure
+// that makes unweighted MinHash fail in Figure 5.
+func TestHeavyColumnsAlignAcrossTables(t *testing.T) {
+	const lakeSeed = 13
+	rngA := newRNG()
+	rngB := hashing.NewSplitMix64(104729)
+	var a, b []float64
+	for k := uint64(0); k < 4000; k++ {
+		latent := latentFactor(lakeSeed, k)
+		a = append(a, drawValue(rngA, shapeHeavy, latent))
+		b = append(b, drawValue(rngB, shapeHeavy, latent))
+	}
+	if r := stats.Correlation(a, b); r < 0.5 {
+		t.Fatalf("heavy columns correlation %v, want strong alignment", r)
+	}
+	// And the extreme entries specifically must co-occur: among the top-1%
+	// |a| keys, |b| should also be large on average.
+	big := 0
+	for i := range a {
+		if abs(a[i]) > 8 && abs(b[i]) > 4 {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Fatal("no co-occurring extreme values found")
+	}
+}
+
+func TestLatentFactorDeterministicPerKey(t *testing.T) {
+	if latentFactor(1, 42) != latentFactor(1, 42) {
+		t.Fatal("latent factor not deterministic")
+	}
+	if latentFactor(1, 42) == latentFactor(2, 42) {
+		t.Fatal("latent factor ignores lake seed")
+	}
+	if latentFactor(1, 42) == latentFactor(1, 43) {
+		t.Fatal("latent factor ignores key")
+	}
+}

@@ -1,0 +1,136 @@
+package ipsketch
+
+import (
+	"testing"
+)
+
+// TestSerializeRoundTripAllMethods: marshal → unmarshal → the decoded
+// sketch estimates identically against a freshly computed counterpart.
+func TestSerializeRoundTripAllMethods(t *testing.T) {
+	a, b := paperPair(t, 0.1, 21)
+	for _, m := range Methods() {
+		budget := 200
+		if m == MethodSimHash {
+			budget = 9
+		}
+		s, err := NewSketcher(Config{Method: m, StorageWords: budget, Seed: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		sa, err := s.Sketch(a)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		sb, err := s.Sketch(b)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		want, err := Estimate(sa, sb)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+
+		data, err := sa.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%v marshal: %v", m, err)
+		}
+		decoded, err := UnmarshalSketch(data)
+		if err != nil {
+			t.Fatalf("%v unmarshal: %v", m, err)
+		}
+		if decoded.Method() != m {
+			t.Fatalf("%v: decoded method %v", m, decoded.Method())
+		}
+		got, err := Estimate(decoded, sb)
+		if err != nil {
+			t.Fatalf("%v estimate after decode: %v", m, err)
+		}
+		if got != want {
+			t.Errorf("%v: decoded estimate %v != original %v", m, got, want)
+		}
+		if decoded.StorageWords() != sa.StorageWords() {
+			t.Errorf("%v: storage changed across round trip", m)
+		}
+	}
+}
+
+func TestSerializeEmptyVector(t *testing.T) {
+	empty, err := NewVector(100, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Methods() {
+		budget := 100
+		if m == MethodSimHash {
+			budget = 3
+		}
+		s, _ := NewSketcher(Config{Method: m, StorageWords: budget, Seed: 1})
+		sk, err := s.Sketch(empty)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		data, err := sk.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%v marshal: %v", m, err)
+		}
+		if _, err := UnmarshalSketch(data); err != nil {
+			t.Fatalf("%v unmarshal empty: %v", m, err)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"nil":         nil,
+		"short":       {1, 2, 3},
+		"bad magic":   {'X', 'P', 'S', 'K', 1, 0},
+		"bad version": {'I', 'P', 'S', 'K', 99, 0},
+		"bad method":  {'I', 'P', 'S', 'K', 1, 200},
+		"no payload":  {'I', 'P', 'S', 'K', 1, 0},
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalSketch(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTruncatedPayload(t *testing.T) {
+	a, _ := paperPair(t, 0.1, 23)
+	for _, m := range Methods() {
+		budget := 100
+		if m == MethodSimHash {
+			budget = 3
+		}
+		s, _ := NewSketcher(Config{Method: m, StorageWords: budget, Seed: 2})
+		sk, _ := s.Sketch(a)
+		data, err := sk.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Chop the payload at several points; every prefix must be
+		// rejected (never panic, never succeed).
+		for _, frac := range []int{2, 3, 7} {
+			cut := 6 + (len(data)-6)/frac
+			if _, err := UnmarshalSketch(data[:cut]); err == nil {
+				t.Errorf("%v: truncated payload (cut=%d) accepted", m, cut)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruptCounts(t *testing.T) {
+	a, _ := paperPair(t, 0.1, 29)
+	s, _ := NewSketcher(Config{Method: MethodMH, StorageWords: 100, Seed: 2})
+	sk, _ := s.Sketch(a)
+	data, _ := sk.MarshalBinary()
+	// Payload starts at offset 6: first field is M (u64 little-endian).
+	// Zeroing it makes params invalid.
+	corrupt := append([]byte(nil), data...)
+	for i := 6; i < 14; i++ {
+		corrupt[i] = 0
+	}
+	if _, err := UnmarshalSketch(corrupt); err == nil {
+		t.Fatal("corrupt M accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package ipsketch
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cws"
+	"repro/internal/kmv"
+	"repro/internal/minhash"
+	"repro/internal/wmh"
+)
+
+// Beyond inner products, the hash-based sketches natively estimate set
+// similarities and cardinalities — the primitives of joinability search
+// (paper §1.2: "discover tables that are joinable with the target table").
+
+// EstimateJaccard estimates a similarity between the sketched vectors:
+//
+//   - MethodMH, MethodKMV: the Jaccard similarity |A∩B|/|A∪B| of the
+//     supports (key sets, for key-indicator vectors).
+//   - MethodWMH, MethodICWS: the weighted Jaccard similarity
+//     Σmin(ã²,b̃²)/Σmax(ã²,b̃²) of the squared normalized vectors.
+//
+// Other methods cannot estimate similarities and return an error.
+func EstimateJaccard(a, b *Sketch) (float64, error) {
+	if a == nil || b == nil {
+		return 0, errors.New("ipsketch: nil sketch")
+	}
+	if a.method != b.method {
+		return 0, fmt.Errorf("ipsketch: method mismatch %v vs %v", a.method, b.method)
+	}
+	switch a.method {
+	case MethodMH:
+		return minhash.JaccardEstimate(a.mh, b.mh)
+	case MethodKMV:
+		inter, err := kmv.JoinSizeEstimate(a.kmv, b.kmv)
+		if err != nil {
+			return 0, err
+		}
+		union, err := kmv.UnionEstimate(a.kmv, b.kmv)
+		if err != nil {
+			return 0, err
+		}
+		if union <= 0 {
+			return 0, nil
+		}
+		j := inter / union
+		if j > 1 {
+			j = 1
+		}
+		return j, nil
+	case MethodWMH:
+		return wmh.WeightedJaccardEstimate(a.wmh, b.wmh)
+	case MethodICWS:
+		return cws.WeightedJaccardEstimate(a.cws, b.cws)
+	default:
+		return 0, fmt.Errorf("ipsketch: %v sketches cannot estimate Jaccard similarity", a.method)
+	}
+}
+
+// EstimateSupportSize estimates the number of non-zero entries of the
+// sketched vector (the distinct-key count for key-indicator vectors).
+// Supported by MethodMH and MethodKMV.
+func EstimateSupportSize(sk *Sketch) (float64, error) {
+	if sk == nil {
+		return 0, errors.New("ipsketch: nil sketch")
+	}
+	switch sk.method {
+	case MethodMH:
+		return sk.mh.DistinctEstimate(), nil
+	case MethodKMV:
+		return sk.kmv.DistinctEstimate(), nil
+	default:
+		return 0, fmt.Errorf("ipsketch: %v sketches cannot estimate support size", sk.method)
+	}
+}
+
+// EstimateUnionSize estimates |A∪B| of the two sketched supports.
+// Supported by MethodMH and MethodKMV.
+func EstimateUnionSize(a, b *Sketch) (float64, error) {
+	if a == nil || b == nil {
+		return 0, errors.New("ipsketch: nil sketch")
+	}
+	if a.method != b.method {
+		return 0, fmt.Errorf("ipsketch: method mismatch %v vs %v", a.method, b.method)
+	}
+	switch a.method {
+	case MethodMH:
+		return minhash.UnionEstimate(a.mh, b.mh)
+	case MethodKMV:
+		return kmv.UnionEstimate(a.kmv, b.kmv)
+	default:
+		return 0, fmt.Errorf("ipsketch: %v sketches cannot estimate union size", a.method)
+	}
+}

@@ -1,0 +1,270 @@
+package ipsketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/tables"
+)
+
+// This file is the dataset-search application layer (paper §1.2): sketch
+// tables once, then estimate post-join statistics between any pair of
+// tables from their sketches alone, without materializing joins.
+
+// Table is a keyed table with float64 value columns. See NewTable.
+type Table = tables.Table
+
+// Agg selects how duplicate keys are reduced before one-to-one joins.
+type Agg = tables.Agg
+
+// Aggregations re-exported from the tables substrate.
+const (
+	AggSum   = tables.AggSum
+	AggMean  = tables.AggMean
+	AggCount = tables.AggCount
+	AggMin   = tables.AggMin
+	AggMax   = tables.AggMax
+	AggFirst = tables.AggFirst
+)
+
+// DefaultKeySpace is the default key-domain size (vector dimension) for
+// table sketching.
+const DefaultKeySpace = tables.DefaultKeySpace
+
+// NewTable builds a table from a key column and named value columns.
+func NewTable(name string, keys []uint64, cols map[string][]float64) (*Table, error) {
+	return tables.New(name, keys, cols)
+}
+
+// KeyFromString maps a string key into the key domain.
+func KeyFromString(s string) uint64 { return tables.KeyFromString(s) }
+
+// TableSketcher sketches tables: the key-indicator vector x_1[K] plus, for
+// every requested value column V, the vectors x_V and x_{V²}. Those three
+// sketches per column are enough to estimate join size, post-join sums,
+// means, variances, covariance, and correlation (§1.2 of the paper).
+type TableSketcher struct {
+	s        *Sketcher
+	keySpace uint64
+}
+
+// NewTableSketcher wraps a sketcher configuration for table sketching.
+// keySpace 0 selects DefaultKeySpace.
+func NewTableSketcher(cfg Config, keySpace uint64) (*TableSketcher, error) {
+	s, err := NewSketcher(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if keySpace == 0 {
+		keySpace = DefaultKeySpace
+	}
+	return &TableSketcher{s: s, keySpace: keySpace}, nil
+}
+
+// TableSketch is the sketch bundle for one table.
+type TableSketch struct {
+	Name     string
+	keySpace uint64
+	key      *Sketch
+	val      map[string]*Sketch
+	sqVal    map[string]*Sketch
+}
+
+// SketchTable sketches the table's key set and the named value columns
+// (all columns when none are named). The table must have unique keys;
+// aggregate first otherwise.
+func (ts *TableSketcher) SketchTable(t *Table, cols ...string) (*TableSketch, error) {
+	if len(cols) == 0 {
+		cols = t.ColumnNames()
+	}
+	ki, err := t.KeyIndicator(ts.keySpace)
+	if err != nil {
+		return nil, err
+	}
+	keySk, err := ts.s.Sketch(ki)
+	if err != nil {
+		return nil, err
+	}
+	out := &TableSketch{
+		Name:     t.Name(),
+		keySpace: ts.keySpace,
+		key:      keySk,
+		val:      make(map[string]*Sketch, len(cols)),
+		sqVal:    make(map[string]*Sketch, len(cols)),
+	}
+	for _, c := range cols {
+		v, err := t.ValueVector(ts.keySpace, c)
+		if err != nil {
+			return nil, err
+		}
+		sq, err := t.SquaredValueVector(ts.keySpace, c)
+		if err != nil {
+			return nil, err
+		}
+		if out.val[c], err = ts.s.Sketch(v); err != nil {
+			return nil, err
+		}
+		if out.sqVal[c], err = ts.s.Sketch(sq); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Columns returns the sketched column names.
+func (tsk *TableSketch) Columns() []string {
+	out := make([]string, 0, len(tsk.val))
+	for c := range tsk.val {
+		out = append(out, c)
+	}
+	return out
+}
+
+// StorageWords returns the total size of the sketch bundle.
+func (tsk *TableSketch) StorageWords() float64 {
+	total := tsk.key.StorageWords()
+	for _, s := range tsk.val {
+		total += s.StorageWords()
+	}
+	for _, s := range tsk.sqVal {
+		total += s.StorageWords()
+	}
+	return total
+}
+
+// EstimateTableJoinSize estimates SIZE(T_A ⋈ T_B) = ⟨x_1[K_A], x_1[K_B]⟩.
+func EstimateTableJoinSize(a, b *TableSketch) (float64, error) {
+	if a.keySpace != b.keySpace {
+		return 0, fmt.Errorf("ipsketch: key space mismatch %d vs %d", a.keySpace, b.keySpace)
+	}
+	return EstimateJoinSize(a.key, b.key)
+}
+
+// JoinStats are sketch-based estimates of the post-join statistics of
+// §1.2. Ratio statistics are NaN when the estimated join size is ≤ 0.
+type JoinStats struct {
+	// Size estimates SIZE(T_A⋈B).
+	Size float64
+	// SumA and SumB estimate SUM(V_A⋈) and SUM(V_B⋈).
+	SumA, SumB float64
+	// MeanA and MeanB estimate MEAN(V_A⋈) and MEAN(V_B⋈).
+	MeanA, MeanB float64
+	// VarA and VarB estimate the post-join population variances.
+	VarA, VarB float64
+	// InnerProduct estimates ⟨x_VA, x_VB⟩ = Σ_join V_A·V_B.
+	InnerProduct float64
+	// Covariance estimates the post-join covariance of (V_A, V_B).
+	Covariance float64
+	// Correlation estimates the post-join Pearson correlation.
+	Correlation float64
+}
+
+// EstimateJoinStats estimates every §1.2 statistic for columns colA of a
+// and colB of b from the sketch bundles alone.
+func EstimateJoinStats(a *TableSketch, colA string, b *TableSketch, colB string) (JoinStats, error) {
+	if a.keySpace != b.keySpace {
+		return JoinStats{}, fmt.Errorf("ipsketch: key space mismatch %d vs %d", a.keySpace, b.keySpace)
+	}
+	va, ok := a.val[colA]
+	if !ok {
+		return JoinStats{}, fmt.Errorf("ipsketch: table %q sketch has no column %q", a.Name, colA)
+	}
+	vb, ok := b.val[colB]
+	if !ok {
+		return JoinStats{}, fmt.Errorf("ipsketch: table %q sketch has no column %q", b.Name, colB)
+	}
+	sqA, sqB := a.sqVal[colA], b.sqVal[colB]
+
+	var st JoinStats
+	var err error
+	if st.Size, err = EstimateJoinSize(a.key, b.key); err != nil {
+		return JoinStats{}, err
+	}
+	if st.SumA, err = Estimate(va, b.key); err != nil {
+		return JoinStats{}, err
+	}
+	if st.SumB, err = Estimate(a.key, vb); err != nil {
+		return JoinStats{}, err
+	}
+	sumSqA, err := Estimate(sqA, b.key)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	sumSqB, err := Estimate(a.key, sqB)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	if st.InnerProduct, err = Estimate(va, vb); err != nil {
+		return JoinStats{}, err
+	}
+
+	if st.Size <= 0 {
+		st.MeanA, st.MeanB = math.NaN(), math.NaN()
+		st.VarA, st.VarB = math.NaN(), math.NaN()
+		st.Covariance, st.Correlation = math.NaN(), math.NaN()
+		return st, nil
+	}
+	n := st.Size
+	st.MeanA = st.SumA / n
+	st.MeanB = st.SumB / n
+	st.VarA = sumSqA/n - st.MeanA*st.MeanA
+	st.VarB = sumSqB/n - st.MeanB*st.MeanB
+	st.Covariance = st.InnerProduct/n - st.MeanA*st.MeanB
+	if st.VarA > 0 && st.VarB > 0 {
+		st.Correlation = st.Covariance / math.Sqrt(st.VarA*st.VarB)
+		// Estimation noise can push the ratio outside [−1, 1]; clamp so
+		// downstream ranking stays sane.
+		if st.Correlation > 1 {
+			st.Correlation = 1
+		} else if st.Correlation < -1 {
+			st.Correlation = -1
+		}
+	} else {
+		st.Correlation = math.NaN()
+	}
+	return st, nil
+}
+
+// ExactJoinStats computes the same statistics exactly by materializing the
+// join — ground truth for evaluating the estimates.
+func ExactJoinStats(a *Table, colA string, b *Table, colB string) (JoinStats, error) {
+	j, err := tables.Join(a, b, colA, colB)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	if j.Size() == 0 {
+		return JoinStats{
+			MeanA: math.NaN(), MeanB: math.NaN(),
+			VarA: math.NaN(), VarB: math.NaN(),
+			Covariance: math.NaN(), Correlation: math.NaN(),
+		}, nil
+	}
+	return JoinStats{
+		Size:         float64(j.Size()),
+		SumA:         j.SumA(),
+		SumB:         j.SumB(),
+		MeanA:        j.MeanA(),
+		MeanB:        j.MeanB(),
+		VarA:         j.VarA(),
+		VarB:         j.VarB(),
+		InnerProduct: j.InnerProduct(),
+		Covariance:   j.Covariance(),
+		Correlation:  j.Correlation(),
+	}, nil
+}
+
+// ErrNoSketchedColumn is a sentinel for callers that probe column presence.
+var ErrNoSketchedColumn = errors.New("ipsketch: column not sketched")
+
+// ColumnSketch returns the x_V sketch for a sketched column.
+func (tsk *TableSketch) ColumnSketch(col string) (*Sketch, error) {
+	s, ok := tsk.val[col]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSketchedColumn, col)
+	}
+	return s, nil
+}
+
+// KeySketch returns the x_1[K] sketch.
+func (tsk *TableSketch) KeySketch() *Sketch { return tsk.key }
