@@ -1,0 +1,146 @@
+package ipsketch
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cws"
+	"repro/internal/hashing"
+	"repro/internal/kmv"
+	"repro/internal/minhash"
+	"repro/internal/wmh"
+)
+
+// This file is the batch surface of the sketching engine: catalog-scale
+// operations that fan work across a bounded worker pool (one contiguous
+// chunk per GOMAXPROCS worker, see hashing.ParallelChunks) and reuse
+// per-worker builder scratch so the steady state allocates only the
+// returned sketches. Results are deterministic and identical to the
+// corresponding one-at-a-time calls: batching changes the schedule, never
+// the output.
+
+// SketchAll sketches every vector in vs and returns the sketches in order.
+// It is the high-throughput path for sketching a catalog: vectors are
+// partitioned across a bounded worker pool and each worker reuses one
+// builder's scratch for its whole partition. The output of SketchAll(vs)[i]
+// is identical to Sketch(vs[i]).
+func (s *Sketcher) SketchAll(vs []Vector) ([]*Sketch, error) {
+	out := make([]*Sketch, len(vs))
+	errs := make([]error, len(vs))
+	workers := hashing.WorkerCount(len(vs))
+	setupErrs := make([]error, workers) // builder-construction (config) errors
+	hashing.ParallelWorkers(len(vs), workers, func(w, lo, hi int) {
+		setupErrs[w] = s.sketchRange(vs, out, errs, lo, hi)
+	})
+	for _, err := range setupErrs {
+		if err != nil {
+			// A builder failing to construct is a configuration problem,
+			// not a property of any particular vector.
+			return nil, fmt.Errorf("ipsketch: %v builder: %w", s.cfg.Method, err)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ipsketch: sketching vector %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// sketchRange sketches vs[lo:hi] with one builder's reused scratch. The
+// returned error is a builder-construction failure; per-vector errors land
+// in errs.
+func (s *Sketcher) sketchRange(vs []Vector, out []*Sketch, errs []error, lo, hi int) error {
+	switch s.cfg.Method {
+	case MethodWMH:
+		b, err := wmh.NewBuilder(s.cfg.wmhParams(s.size))
+		if err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			sk, err := b.Sketch(vs[i])
+			out[i], errs[i] = &Sketch{method: MethodWMH, wmh: sk}, err
+		}
+	case MethodMH:
+		b, err := minhash.NewBuilder(minhash.Params{M: s.size, Seed: s.cfg.Seed})
+		if err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			sk, err := b.Sketch(vs[i])
+			out[i], errs[i] = &Sketch{method: MethodMH, mh: sk}, err
+		}
+	case MethodKMV:
+		b, err := kmv.NewBatchBuilder(kmv.Params{K: s.size, Seed: s.cfg.Seed})
+		if err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			sk, err := b.Sketch(vs[i])
+			out[i], errs[i] = &Sketch{method: MethodKMV, kmv: sk}, err
+		}
+	case MethodICWS:
+		b, err := cws.NewBuilder(cws.Params{M: s.size, Seed: s.cfg.Seed})
+		if err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			sk, err := b.Sketch(vs[i])
+			out[i], errs[i] = &Sketch{method: MethodICWS, cws: sk}, err
+		}
+	default:
+		// Linear sketches have no reusable scratch; the chunked fan-out
+		// still parallelizes them across vectors.
+		for i := lo; i < hi; i++ {
+			out[i], errs[i] = s.Sketch(vs[i])
+		}
+	}
+	for i := lo; i < hi; i++ {
+		if errs[i] != nil {
+			out[i] = nil
+		}
+	}
+	return nil
+}
+
+// EstimateMany estimates the inner product of one query sketch against
+// every candidate, in parallel. out[i] == Estimate(q, cands[i]).
+func EstimateMany(q *Sketch, cands []*Sketch) ([]float64, error) {
+	if q == nil {
+		return nil, errors.New("ipsketch: nil query sketch")
+	}
+	out := make([]float64, len(cands))
+	errs := make([]error, len(cands))
+	hashing.ParallelChunks(len(cands), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], errs[i] = Estimate(q, cands[i])
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ipsketch: estimating candidate %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// EstimatePairs estimates the inner product of each aligned pair, in
+// parallel. out[i] == Estimate(as[i], bs[i]).
+func EstimatePairs(as, bs []*Sketch) ([]float64, error) {
+	if len(as) != len(bs) {
+		return nil, fmt.Errorf("ipsketch: pair count mismatch: %d vs %d", len(as), len(bs))
+	}
+	out := make([]float64, len(as))
+	errs := make([]error, len(as))
+	hashing.ParallelChunks(len(as), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], errs[i] = Estimate(as[i], bs[i])
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ipsketch: estimating pair %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package ipsketch
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/hashing"
+)
+
+func batchTestVectors(t testing.TB, n int) []Vector {
+	t.Helper()
+	out := make([]Vector, 0, n)
+	rng := hashing.NewSplitMix64(31)
+	for i := 0; i < n; i++ {
+		if i%7 == 3 {
+			// Mix in empty and tiny vectors to exercise edge paths.
+			v, err := NewVector(10000, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, v)
+			continue
+		}
+		pp := datagen.PaperPairParams(0.1, rng.Uint64())
+		pp.NNZ = 50 + i%200
+		a, _, err := datagen.SyntheticPair(pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// TestSketchAllMatchesSketch: for every method, SketchAll must produce
+// exactly the sketches Sketch produces, in order (batching changes the
+// schedule, never the output). Verified by cross-estimating each batch
+// sketch against its one-at-a-time twin: identical sketches estimate
+// identical values, and incompatible ones error.
+func TestSketchAllMatchesSketch(t *testing.T) {
+	vs := batchTestVectors(t, 23)
+	for _, m := range Methods() {
+		cfg := Config{Method: m, StorageWords: 120, Seed: 7}
+		s, err := NewSketcher(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := s.SketchAll(vs)
+		if err != nil {
+			t.Fatalf("%v: SketchAll: %v", m, err)
+		}
+		if len(batch) != len(vs) {
+			t.Fatalf("%v: got %d sketches, want %d", m, len(batch), len(vs))
+		}
+		for i, v := range vs {
+			single, err := s.Sketch(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eBatch, err := Estimate(batch[i], single)
+			if err != nil {
+				t.Fatalf("%v vec %d: batch sketch incompatible with single: %v", m, i, err)
+			}
+			eSingle, err := Estimate(single, single)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eBatch != eSingle {
+				t.Fatalf("%v vec %d: self-estimate %v via batch sketch, %v via single",
+					m, i, eBatch, eSingle)
+			}
+		}
+	}
+}
+
+// TestSketchAllFastHash: the FastHash config flows through the batch path
+// and produces sketches incompatible with exact-log sketches.
+func TestSketchAllFastHash(t *testing.T) {
+	vs := batchTestVectors(t, 4)
+	fast, err := NewSketcher(Config{Method: MethodWMH, StorageWords: 120, Seed: 7, FastHash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewSketcher(Config{Method: MethodWMH, StorageWords: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := fast.SketchAll(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := fast.Sketch(vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Estimate(fb[0], fs); err != nil {
+		t.Fatalf("fast batch vs fast single: %v", err)
+	}
+	es, err := exact.Sketch(vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Estimate(fb[0], es); err == nil {
+		t.Fatal("fast sketch comparable with exact sketch")
+	}
+}
+
+// TestEstimateManyAndPairs: the parallel estimators must agree exactly
+// with one-at-a-time Estimate.
+func TestEstimateManyAndPairs(t *testing.T) {
+	vs := batchTestVectors(t, 17)
+	s, err := NewSketcher(Config{Method: MethodWMH, StorageWords: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sks, err := s.SketchAll(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sks[0]
+	many, err := EstimateMany(q, sks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sk := range sks {
+		want, err := Estimate(q, sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if many[i] != want {
+			t.Fatalf("EstimateMany[%d] = %v, want %v", i, many[i], want)
+		}
+	}
+	rev := make([]*Sketch, len(sks))
+	for i := range sks {
+		rev[i] = sks[len(sks)-1-i]
+	}
+	pairs, err := EstimatePairs(sks, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sks {
+		want, err := Estimate(sks[i], rev[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pairs[i] != want {
+			t.Fatalf("EstimatePairs[%d] = %v, want %v", i, pairs[i], want)
+		}
+	}
+}
+
+// TestBatchErrors: batch APIs must surface the first error with its
+// position and reject shape mismatches.
+func TestBatchErrors(t *testing.T) {
+	vs := batchTestVectors(t, 5)
+	a, err := NewSketcher(Config{Method: MethodWMH, StorageWords: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSketcher(Config{Method: MethodMH, StorageWords: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := a.SketchAll(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := b.SketchAll(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateMany(as[0], bs); err == nil {
+		t.Fatal("EstimateMany accepted mismatched methods")
+	}
+	if _, err := EstimateMany(nil, as); err == nil {
+		t.Fatal("EstimateMany accepted nil query")
+	}
+	if _, err := EstimatePairs(as, bs[:2]); err == nil {
+		t.Fatal("EstimatePairs accepted length mismatch")
+	}
+	if _, err := EstimatePairs(as, bs); err == nil {
+		t.Fatal("EstimatePairs accepted mismatched methods")
+	}
+}

@@ -177,6 +177,198 @@ func BenchmarkEstimate_CountSketch(b *testing.B) { benchEstimate(b, ipsketch.Met
 func BenchmarkEstimate_ICWS(b *testing.B)        { benchEstimate(b, ipsketch.MethodICWS, 400) }
 func BenchmarkEstimate_SimHash(b *testing.B)     { benchEstimate(b, ipsketch.MethodSimHash, 9) }
 
+// --- Engine micro-benchmarks: batch sketching, builders, top-k search ---
+//
+// Paper-scale parameters for the sketching engine: m = 400 samples
+// (StorageWords 601 ⇒ (601−1)/1.5 = 400) over vectors with |A| ≈ 1000.
+// These seed the perf trajectory in BENCH_1.json (cmd/benchreport).
+
+const engineStorage = 601 // ⇒ exactly 400 WMH samples
+
+func engineVectors(b *testing.B, n int) []ipsketch.Vector {
+	b.Helper()
+	out := make([]ipsketch.Vector, 0, n)
+	for i := 0; i < n; i++ {
+		pp := datagen.PaperPairParams(0.1, uint64(i+1))
+		pp.NNZ = 1000
+		v, _, err := datagen.SyntheticPair(pp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func benchSketchWMHBatch(b *testing.B, fastHash bool) {
+	vs := engineVectors(b, 8)
+	s, err := ipsketch.NewSketcher(ipsketch.Config{
+		Method: ipsketch.MethodWMH, StorageWords: engineStorage, Seed: 1, FastHash: fastHash,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SketchAll(vs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nsPerVec := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(vs))
+	b.ReportMetric(nsPerVec, "ns/vec")
+}
+
+// BenchmarkSketchWMH_Single is the one-at-a-time path at engine scale —
+// the baseline the batch paths are compared against.
+func BenchmarkSketchWMH_Single(b *testing.B) {
+	v := engineVectors(b, 1)[0]
+	s, err := ipsketch.NewSketcher(ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: engineStorage, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sketch(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSketchWMH_Batch(b *testing.B)         { benchSketchWMHBatch(b, false) }
+func BenchmarkSketchWMH_BatchFastHash(b *testing.B) { benchSketchWMHBatch(b, true) }
+
+// BenchmarkSketchWMH_Builder is the zero-allocation steady state: one
+// reused builder and destination sketch.
+func BenchmarkSketchWMH_Builder(b *testing.B) {
+	v := engineVectors(b, 1)[0]
+	bu, err := wmh.NewBuilder(wmh.Params{M: 400, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst wmh.Sketch
+	if err := bu.SketchInto(&dst, v); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bu.SketchInto(&dst, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSketchMH_Batch(b *testing.B) {
+	vs := engineVectors(b, 8)
+	s, err := ipsketch.NewSketcher(ipsketch.Config{Method: ipsketch.MethodMH, StorageWords: engineStorage, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SketchAll(vs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(vs)), "ns/vec")
+}
+
+func BenchmarkSketchICWS_Batch(b *testing.B) {
+	vs := engineVectors(b, 8)
+	s, err := ipsketch.NewSketcher(ipsketch.Config{Method: ipsketch.MethodICWS, StorageWords: engineStorage, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SketchAll(vs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(vs)), "ns/vec")
+}
+
+func BenchmarkEstimateMany_WMH(b *testing.B) {
+	vs := engineVectors(b, 32)
+	s, err := ipsketch.NewSketcher(ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: engineStorage, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sks, err := s.SketchAll(vs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ipsketch.EstimateMany(sks[0], sks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(sks)), "ns/pair")
+}
+
+// benchCatalog builds a catalog of tables for search benchmarks.
+func benchCatalog(b *testing.B, tables int) (*ipsketch.TableSketch, *ipsketch.SketchIndex) {
+	b.Helper()
+	rng := hashing.NewSplitMix64(99)
+	const rows = 300
+	mkTable := func(name string, offset uint64) *ipsketch.TableSketch {
+		keys := make([]uint64, rows)
+		vals := make([]float64, rows)
+		for i := range keys {
+			keys[i] = offset + uint64(i*2)
+			vals[i] = rng.Norm()
+		}
+		tab, err := ipsketch.NewTable(name, keys, map[string][]float64{"v": vals})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts, err := ipsketch.NewTableSketcher(ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: 400, Seed: 5}, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sk, err := ts.SketchTable(tab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sk
+	}
+	ix := ipsketch.NewSketchIndex()
+	for i := 0; i < tables; i++ {
+		if err := ix.Add(mkTable(fmt.Sprintf("t%03d", i), uint64(i%7)*100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return mkTable("query", 50), ix
+}
+
+func BenchmarkSearchFull(b *testing.B) {
+	q, ix := benchCatalog(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(q, "v", RankByJoinSizeBench, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchTopK(b *testing.B) {
+	q, ix := benchCatalog(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.SearchTopK(q, "v", RankByJoinSizeBench, 0, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RankByJoinSizeBench aliases the ranking constant so the benchmarks read
+// next to their package-qualified uses above.
+const RankByJoinSizeBench = ipsketch.RankByJoinSize
+
 // --- Ablations (DESIGN.md A1–A5) ---
 
 // A1: FM union estimator (paper Algorithm 5) vs the unit-norm identity

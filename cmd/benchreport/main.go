@@ -1,0 +1,181 @@
+// Command benchreport runs the repository's performance micro-benchmarks
+// and emits a machine-readable JSON report (BENCH_N.json), seeding the
+// perf trajectory: each PR that touches a hot path records before/after
+// numbers in a new report, so regressions are a diff away.
+//
+//	go run ./cmd/benchreport -o BENCH_1.json
+//	go run ./cmd/benchreport -bench 'BenchmarkSearch' -benchtime 2s -count 3
+//
+// The default benchmark set covers the sketching engine's hot paths:
+// per-method sketch construction, estimation, batch sketching, and top-k
+// index search. Figure-regeneration benchmarks are excluded (they measure
+// reproduction accuracy, not throughput; run them with plain `go test
+// -bench`).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench selects the engine micro-benchmarks.
+const defaultBench = "BenchmarkSketch_|BenchmarkEstimate_|BenchmarkSketchWMH_|" +
+	"BenchmarkSketchMH_Batch|BenchmarkSketchICWS_Batch|BenchmarkEstimateMany_|BenchmarkSearch"
+
+// Report is the emitted document.
+type Report struct {
+	Schema      string      `json:"schema"`
+	CreatedUnix int64       `json:"created_unix"`
+	GoVersion   string      `json:"go_version"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	CPU         string      `json:"cpu,omitempty"`
+	BenchRegex  string      `json:"bench_regex"`
+	BenchTime   string      `json:"benchtime"`
+	Count       int         `json:"count"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's best run (lowest ns/op across -count runs).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_1.json", "output file ('-' for stdout)")
+		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
+		count     = flag.Int("count", 1, "go test -count value; the best run per benchmark is kept")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+	)
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", *bench,
+		"-benchmem",
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+		*pkg,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Schema:      "ipsketch-bench/v1",
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BenchRegex:  *bench,
+		BenchTime:   *benchtime,
+		Count:       *count,
+	}
+	best := map[string]Benchmark{}
+	var order []string
+
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.CPU = cpu
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		prev, seen := best[b.Name]
+		if !seen {
+			order = append(order, b.Name)
+			best[b.Name] = b
+		} else if b.Metrics["ns/op"] < prev.Metrics["ns/op"] {
+			best[b.Name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: reading output: %v\n", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: no benchmark lines matched %q\n", *bench)
+		os.Exit(1)
+	}
+	for _, name := range order {
+		rep.Benchmarks = append(rep.Benchmarks, best[name])
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: encoding: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   123  456.7 ns/op  89 B/op  2 allocs/op  1.2 custom/op
+//
+// Every (value, unit) pair after the iteration count lands in Metrics.
+func parseBenchLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return Benchmark{Name: name, Iterations: iters, Metrics: metrics}, true
+}

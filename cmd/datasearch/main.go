@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	ipsketch "repro"
@@ -99,58 +98,51 @@ func main() {
 		fatal(err)
 	}
 
-	type hit struct {
-		table *ipsketch.Table
-		col   string
-		corr  float64
-		size  float64
-	}
-	var hits []hit
+	// Sketch the lake into an index and rank with the engine's parallel
+	// top-k search (workers score shards of the catalog into bounded
+	// heaps; see DESIGN.md §4.2).
+	byName := make(map[string]*ipsketch.Table, len(lake))
+	ix := ipsketch.NewSketchIndex()
 	for _, t := range lake {
 		sk, err := ts.SketchTable(t)
 		if err != nil {
 			fatal(err)
 		}
-		for _, col := range t.ColumnNames() {
-			st, err := ipsketch.EstimateJoinStats(qSketch, "v", sk, col)
-			if err != nil {
-				fatal(err)
-			}
-			if st.Size < 8 || st.Correlation != st.Correlation { // skip tiny joins and NaN
-				continue
-			}
-			hits = append(hits, hit{t, col, st.Correlation, st.Size})
+		if err := ix.Add(sk); err != nil {
+			fatal(err)
 		}
+		byName[t.Name()] = t
 	}
-	sort.Slice(hits, func(i, j int) bool { return abs(hits[i].corr) > abs(hits[j].corr) })
+	// One full ranking serves both outputs: the top-10 table is its
+	// prefix (SearchTopK returns exactly that prefix; no need to score
+	// the catalog twice) and the needle rank needs the whole list.
+	hits, err := ix.Search(qSketch, "v", ipsketch.RankByAbsCorrelation, 8)
+	if err != nil {
+		fatal(err)
+	}
+	top := hits
+	if len(top) > 10 {
+		top = top[:10]
+	}
 
 	fmt.Printf("datasearch: %d tables, method=%v, storage=%d words\n", len(lake), method, *storage)
 	fmt.Printf("%-4s %-12s %-8s %12s %12s %14s\n", "rank", "table", "column", "est_corr", "est_size", "exact_corr")
-	for rank, h := range hits {
-		if rank >= 10 {
-			break
-		}
-		exact, err := ipsketch.ExactJoinStats(query, "v", h.table, h.col)
+	for rank, h := range top {
+		exact, err := ipsketch.ExactJoinStats(query, "v", byName[h.Table], h.Column)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%-4d %-12s %-8s %12.3f %12.1f %14.3f\n",
-			rank+1, h.table.Name(), h.col, h.corr, h.size, exact.Correlation)
+			rank+1, h.Table, h.Column, h.Stats.Correlation, h.Stats.Size, exact.Correlation)
 	}
 	for rank, h := range hits {
-		if h.table.Name() == "needle" {
+		if h.Table == "needle" {
 			fmt.Printf("\nplanted table found at rank %d of %d candidates\n", rank+1, len(hits))
 			break
 		}
 	}
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "datasearch:", err)

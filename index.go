@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/hashing"
 )
 
 // SketchIndex is an in-memory dataset-search catalog: a collection of
@@ -18,6 +20,11 @@ import (
 // All sketches in an index must come from the same TableSketcher (same
 // configuration and key space); Add enforces comparability lazily by
 // letting estimation fail otherwise.
+//
+// Search fans candidate scoring across a bounded worker pool, and
+// SearchTopK keeps only a bounded per-worker heap of the k best
+// candidates, so catalog search scales with cores and pays O(n log k)
+// instead of O(n log n) for the k results callers actually want.
 type SketchIndex struct {
 	entries []*TableSketch
 	byName  map[string]int
@@ -81,43 +88,190 @@ type SearchResult struct {
 	Stats JoinStats
 }
 
+// scored pairs a result with its scan ordinal (entry position, column
+// position). Candidates are ordered by descending score with ties broken
+// by scan order, which makes the parallel search deterministic and
+// identical to the sequential stable sort it replaced.
+type scored struct {
+	res SearchResult
+	ent int
+	col int
+}
+
+// better reports whether a ranks strictly ahead of b.
+func (a scored) better(b scored) bool {
+	if a.res.Score != b.res.Score {
+		return a.res.Score > b.res.Score
+	}
+	if a.ent != b.ent {
+		return a.ent < b.ent
+	}
+	return a.col < b.col
+}
+
+// searchShard is one worker's share of a search: a bounded worst-at-root
+// heap of the best k candidates seen (or every candidate when k < 0),
+// plus the first error in scan order.
+type searchShard struct {
+	k      int
+	items  []scored
+	err    error
+	errEnt int
+	errCol int
+}
+
+// add offers one candidate to the shard.
+func (sh *searchShard) add(c scored) {
+	if sh.k < 0 {
+		sh.items = append(sh.items, c)
+		return
+	}
+	if len(sh.items) < sh.k {
+		sh.items = append(sh.items, c)
+		// Sift up: parents hold *worse* candidates.
+		i := len(sh.items) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !sh.items[parent].better(sh.items[i]) {
+				break
+			}
+			sh.items[parent], sh.items[i] = sh.items[i], sh.items[parent]
+			i = parent
+		}
+		return
+	}
+	if !c.better(sh.items[0]) {
+		return // not better than the worst retained candidate
+	}
+	sh.items[0] = c
+	// Sift down toward the worse child.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(sh.items) {
+			return
+		}
+		worst := l
+		if r := l + 1; r < len(sh.items) && sh.items[l].better(sh.items[r]) {
+			worst = r
+		}
+		if sh.items[worst].better(sh.items[i]) {
+			return
+		}
+		sh.items[i], sh.items[worst] = sh.items[worst], sh.items[i]
+		i = worst
+	}
+}
+
+// fail records the first error in scan order.
+func (sh *searchShard) fail(err error, ent, col int) {
+	if sh.err == nil || ent < sh.errEnt || (ent == sh.errEnt && col < sh.errCol) {
+		sh.err = err
+		sh.errEnt = ent
+		sh.errCol = col
+	}
+}
+
 // Search ranks every (table, column) in the index against the query
 // sketch's column. Candidates whose estimated join size falls below
 // minJoinSize are skipped (tiny joins make ratio statistics meaningless).
+// Scoring runs in parallel across tables; the ranking is deterministic.
 func (ix *SketchIndex) Search(query *TableSketch, queryCol string, by RankBy, minJoinSize float64) ([]SearchResult, error) {
+	return ix.SearchTopK(query, queryCol, by, minJoinSize, -1)
+}
+
+// SearchTopK is Search returning only the k best candidates. Each worker
+// scores its shard of the catalog into a bounded heap, so the search costs
+// O(n·m) estimation plus O(n log k) ranking instead of the O(n log n)
+// full sort — the right shape when callers display a short result list
+// over a large catalog. k < 0 means no bound (full ranking); k == 0
+// returns nil.
+func (ix *SketchIndex) SearchTopK(query *TableSketch, queryCol string, by RankBy, minJoinSize float64, k int) ([]SearchResult, error) {
 	if query == nil {
 		return nil, errors.New("ipsketch: nil query sketch")
 	}
-	var out []SearchResult
-	for _, cand := range ix.entries {
-		if cand.Name == query.Name {
+	switch by {
+	case RankByJoinSize, RankByAbsCorrelation, RankByAbsInnerProduct:
+	default:
+		return nil, fmt.Errorf("ipsketch: unknown ranking %d", int(by))
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	n := len(ix.entries)
+	// One worker count sizes the shard slots AND drives the fan-out, so
+	// the two can never disagree (GOMAXPROCS may change between calls).
+	workers := hashing.WorkerCount(n)
+	shards := make([]searchShard, workers)
+	hashing.ParallelWorkers(n, workers, func(w, lo, hi int) {
+		sh := &shards[w]
+		sh.k = k
+		for ent := lo; ent < hi; ent++ {
+			cand := ix.entries[ent]
+			if cand.Name == query.Name {
+				continue
+			}
+			for col, colName := range cand.Columns() {
+				st, err := EstimateJoinStats(query, queryCol, cand, colName)
+				if err != nil {
+					sh.fail(fmt.Errorf("ipsketch: searching %s.%s: %w", cand.Name, colName, err), ent, col)
+					continue
+				}
+				if st.Size < minJoinSize {
+					continue
+				}
+				var score float64
+				switch by {
+				case RankByJoinSize:
+					score = st.Size
+				case RankByAbsCorrelation:
+					score = math.Abs(st.Correlation)
+				default: // RankByAbsInnerProduct; by was validated upfront
+					score = math.Abs(st.InnerProduct)
+				}
+				if math.IsNaN(score) {
+					continue
+				}
+				sh.add(scored{
+					res: SearchResult{Table: cand.Name, Column: colName, Score: score, Stats: st},
+					ent: ent, col: col,
+				})
+			}
+		}
+	})
+
+	// Surface the first error in scan order, matching the sequential scan.
+	var firstErr *searchShard
+	for i := range shards {
+		sh := &shards[i]
+		if sh.err == nil {
 			continue
 		}
-		for _, col := range cand.Columns() {
-			st, err := EstimateJoinStats(query, queryCol, cand, col)
-			if err != nil {
-				return nil, fmt.Errorf("ipsketch: searching %s.%s: %w", cand.Name, col, err)
-			}
-			if st.Size < minJoinSize {
-				continue
-			}
-			var score float64
-			switch by {
-			case RankByJoinSize:
-				score = st.Size
-			case RankByAbsCorrelation:
-				score = math.Abs(st.Correlation)
-			case RankByAbsInnerProduct:
-				score = math.Abs(st.InnerProduct)
-			default:
-				return nil, fmt.Errorf("ipsketch: unknown ranking %d", int(by))
-			}
-			if math.IsNaN(score) {
-				continue
-			}
-			out = append(out, SearchResult{Table: cand.Name, Column: col, Score: score, Stats: st})
+		if firstErr == nil || sh.errEnt < firstErr.errEnt ||
+			(sh.errEnt == firstErr.errEnt && sh.errCol < firstErr.errCol) {
+			firstErr = sh
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if firstErr != nil {
+		return nil, firstErr.err
+	}
+
+	// Merge the shards and rank: descending score, scan order on ties —
+	// exactly the order the sequential stable sort produced.
+	var merged []scored
+	for i := range shards {
+		merged = append(merged, shards[i].items...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].better(merged[j]) })
+	if k >= 0 && len(merged) > k {
+		merged = merged[:k]
+	}
+	if len(merged) == 0 {
+		return nil, nil
+	}
+	out := make([]SearchResult, len(merged))
+	for i, c := range merged {
+		out[i] = c.res
+	}
 	return out, nil
 }

@@ -1,0 +1,122 @@
+package cws
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+func blockMajorTestVector(t testing.TB, seed uint64, nnz int) vector.Sparse {
+	t.Helper()
+	rng := hashing.NewSplitMix64(seed)
+	idx := make([]uint64, 0, nnz)
+	vals := make([]float64, 0, nnz)
+	next := uint64(0)
+	for len(idx) < nnz {
+		next += 1 + rng.Uint64()%40
+		v := rng.Norm()
+		if v == 0 {
+			v = 1
+		}
+		idx = append(idx, next)
+		vals = append(vals, v)
+	}
+	return vector.MustNew(1<<16, idx, vals)
+}
+
+// buildSampleMajor is the pre-refactor loop: per sample, re-derive every
+// entry's stream seed with the full four-word Mix and recompute log(w).
+func buildSampleMajor(v vector.Sparse, p Params) *Sketch {
+	s := &Sketch{params: p, dim: v.Dim(), norm: v.Norm()}
+	if v.IsEmpty() {
+		s.empty = true
+		return s
+	}
+	normSq := v.SquaredNorm()
+	s.idx = make([]uint64, p.M)
+	s.level = make([]int64, p.M)
+	s.vals = make([]float64, p.M)
+	for i := 0; i < p.M; i++ {
+		bestA := math.Inf(1)
+		var bestJ uint64
+		var bestT int64
+		var bestVal float64
+		v.Range(func(j uint64, val float64) bool {
+			w := val * val / normSq
+			rng := hashing.NewSplitMix64(hashing.Mix(p.Seed, uint64(i), j, 0x696377))
+			r := gamma21(rng)
+			c := gamma21(rng)
+			beta := rng.Float64()
+			t := math.Floor(math.Log(w)/r + beta)
+			y := math.Exp(r * (t - beta))
+			a := c / (y * math.Exp(r))
+			if a < bestA {
+				bestA = a
+				bestJ = j
+				bestT = int64(t)
+				bestVal = sign(val) * math.Sqrt(w)
+			}
+			return true
+		})
+		s.idx[i] = bestJ
+		s.level[i] = bestT
+		s.vals[i] = bestVal
+	}
+	return s
+}
+
+// TestBlockMajorMatchesSampleMajor: the entry-major loop with hoisted
+// per-entry quantities must reproduce the sample-major loop bitwise.
+func TestBlockMajorMatchesSampleMajor(t *testing.T) {
+	for _, nnz := range []int{1, 9, 150} {
+		v := blockMajorTestVector(t, uint64(nnz), nnz)
+		p := Params{M: 23, Seed: 0xc5}
+		want := buildSampleMajor(v, p)
+		got, err := New(v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewBuilder(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromBuilder, err := b.Sketch(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []*Sketch{got, fromBuilder} {
+			if s.params != want.params || s.dim != want.dim || s.norm != want.norm {
+				t.Fatalf("nnz=%d: header mismatch", nnz)
+			}
+			for i := range want.idx {
+				if s.idx[i] != want.idx[i] || s.level[i] != want.level[i] || s.vals[i] != want.vals[i] {
+					t.Fatalf("nnz=%d sample %d: (%d,%d,%v) vs (%d,%d,%v)", nnz, i,
+						s.idx[i], s.level[i], s.vals[i], want.idx[i], want.level[i], want.vals[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBuilderSketchIntoZeroAllocs: the warm reusable path must not allocate.
+func TestBuilderSketchIntoZeroAllocs(t *testing.T) {
+	v := blockMajorTestVector(t, 5, 150)
+	b, err := NewBuilder(Params{M: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst Sketch
+	if err := b.SketchInto(&dst, v); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := b.SketchInto(&dst, v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SketchInto allocates %v times per run, want 0", allocs)
+	}
+}

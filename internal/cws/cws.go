@@ -69,38 +69,123 @@ func New(v vector.Sparse, p Params) (*Sketch, error) {
 		s.empty = true
 		return s, nil
 	}
-	normSq := v.SquaredNorm()
+	skeys := sampleKeys(nil, p.Seed, p.M)
 	s.idx = make([]uint64, p.M)
 	s.level = make([]int64, p.M)
 	s.vals = make([]float64, p.M)
-	hashing.Parallel(p.M, func(i int) {
-		bestA := math.Inf(1)
-		var bestJ uint64
-		var bestT int64
-		var bestVal float64
-		v.Range(func(j uint64, val float64) bool {
-			w := val * val / normSq // real-valued weight, no rounding
-			rng := hashing.NewSplitMix64(hashing.Mix(p.Seed, uint64(i), j, 0x696377 /* "icw" */))
+	bestA := make([]float64, p.M)
+	hashing.ParallelChunks(p.M, func(lo, hi int) {
+		fillBlockMajor(s.idx[lo:hi], s.level[lo:hi], s.vals[lo:hi], bestA[lo:hi], skeys[lo:hi], v)
+	})
+	return s, nil
+}
+
+// sampleKeys fills buf with the per-sample Mix-chain prefixes Mix(seed, i).
+func sampleKeys(buf []uint64, seed uint64, m int) []uint64 {
+	return hashing.ChainKeys(buf, hashing.Mix(seed), m)
+}
+
+// fillBlockMajor computes a chunk of ICWS samples in entry-major order.
+// Per support entry it hoists the weight, its logarithm, and the stored
+// value out of the sample loop (the sample-major loop recomputed log(w)
+// per (sample, entry)), and derives each pair's stream seed with two
+// Extend steps off the per-sample prefix. Output is bitwise identical to
+// the sample-major loop: the same Ioffe draws in the same order, with ties
+// broken toward the earlier entry either way.
+func fillBlockMajor(idxOut []uint64, level []int64, vals []float64, bestA []float64, skeys []uint64, v vector.Sparse) {
+	for i := range bestA {
+		bestA[i] = math.Inf(1)
+		idxOut[i] = 0
+		level[i] = 0
+		vals[i] = 0
+	}
+	normSq := v.SquaredNorm()
+	nnz := v.NNZ()
+	const tag = uint64(0x696377) /* "icw" */
+	for e := 0; e < nnz; e++ {
+		j, val := v.Entry(e)
+		w := val * val / normSq // real-valued weight, no rounding
+		logW := math.Log(w)
+		sval := sign(val) * math.Sqrt(w)
+		for i := range skeys {
+			rng := hashing.NewSplitMix64(hashing.Extend(hashing.Extend(skeys[i], j), tag))
 			// Ioffe's construction: r, c ~ Gamma(2,1), β ~ U(0,1).
 			r := gamma21(rng)
 			c := gamma21(rng)
 			beta := rng.Float64()
-			t := math.Floor(math.Log(w)/r + beta)
+			t := math.Floor(logW/r + beta)
 			y := math.Exp(r * (t - beta))
 			a := c / (y * math.Exp(r)) // z = y·e^r, a = c/z
-			if a < bestA {
-				bestA = a
-				bestJ = j
-				bestT = int64(t)
-				bestVal = sign(val) * math.Sqrt(w)
+			if a < bestA[i] {
+				bestA[i] = a
+				idxOut[i] = j
+				level[i] = int64(t)
+				vals[i] = sval
 			}
-			return true
-		})
-		s.idx[i] = bestJ
-		s.level[i] = bestT
-		s.vals[i] = bestVal
-	})
+		}
+	}
+}
+
+// Builder sketches many vectors under one fixed Params, reusing the
+// per-sample key prefixes and the running-minimum scratch; with SketchInto
+// the steady-state sketch loop is allocation-free. A Builder is
+// single-goroutine; run one per worker to use every core. Its sketches are
+// bitwise identical to New's.
+type Builder struct {
+	p     Params
+	skeys []uint64
+	bestA []float64
+}
+
+// NewBuilder validates p and returns a reusable sketch builder.
+func NewBuilder(p Params) (*Builder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Builder{
+		p:     p,
+		skeys: sampleKeys(nil, p.Seed, p.M),
+		bestA: make([]float64, p.M),
+	}, nil
+}
+
+// Params returns the builder's construction parameters.
+func (b *Builder) Params() Params { return b.p }
+
+// Sketch sketches v into a fresh Sketch.
+func (b *Builder) Sketch(v vector.Sparse) (*Sketch, error) {
+	s := new(Sketch)
+	if err := b.SketchInto(s, v); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// SketchInto sketches v into dst, reusing dst's sample arrays when they
+// have capacity; repeated calls with the same dst allocate nothing.
+func (b *Builder) SketchInto(dst *Sketch, v vector.Sparse) error {
+	if dst == nil {
+		return errors.New("cws: nil destination sketch")
+	}
+	idx, level, vals := dst.idx[:0], dst.level[:0], dst.vals[:0]
+	*dst = Sketch{params: b.p, dim: v.Dim(), norm: v.Norm()}
+	if v.IsEmpty() {
+		dst.empty = true
+		return nil
+	}
+	m := b.p.M
+	if cap(idx) < m {
+		idx = make([]uint64, m)
+	}
+	if cap(level) < m {
+		level = make([]int64, m)
+	}
+	if cap(vals) < m {
+		vals = make([]float64, m)
+	}
+	dst.idx, dst.level, dst.vals = idx[:m], level[:m], vals[:m]
+	fillBlockMajor(dst.idx, dst.level, dst.vals, b.bestA, b.skeys, v)
+	return nil
 }
 
 // gamma21 samples Gamma(shape=2, scale=1) = −ln(U1·U2).

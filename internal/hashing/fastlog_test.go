@@ -1,0 +1,150 @@
+package hashing
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtendMatchesMix(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		return Mix(a, b, c) == Extend(Extend(Mix(a), b), c) &&
+			Mix(a) == Extend(Mix(), a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastLogAccuracy bounds the relative error of the polynomial logs
+// over the record-process domain: (0,1) uniforms for fastLog, (0,1) record
+// values for fastLog1pNeg, plus subnormal and near-1 edges.
+func TestFastLogAccuracy(t *testing.T) {
+	rng := NewSplitMix64(4242)
+	checkRel := func(got, want float64, what string, x float64) {
+		t.Helper()
+		rel := math.Abs(got-want) / math.Abs(want)
+		if !(rel < 1e-7) {
+			t.Fatalf("%s(%g): got %g want %g (rel err %.3g)", what, x, got, want, rel)
+		}
+	}
+	for i := 0; i < 500000; i++ {
+		u := rng.Float64()
+		checkRel(fastLog(u), math.Log(u), "fastLog", u)
+		checkRel(fastLog1pNeg(u), math.Log1p(-u), "fastLog1pNeg", u)
+		// Wide-exponent but still normal inputs.
+		v := u*1e-300 + 1e-290
+		checkRel(fastLog(v), math.Log(v), "fastLog", v)
+	}
+	// Near-one z (tiny 1−z) and tiny/subnormal z.
+	for _, z := range []float64{
+		math.Nextafter(1, 0), 1 - 1e-12, 0.5, 0x1p-20, 0x1p-21, 1e-30,
+		1e-300, 1e-310, math.SmallestNonzeroFloat64,
+	} {
+		got, want := fastLog1pNeg(z), math.Log1p(-z)
+		rel := math.Abs(got-want) / math.Abs(want)
+		if !(rel < 1e-7) {
+			t.Fatalf("fastLog1pNeg(%g): got %g want %g (rel %.3g)", z, got, want, rel)
+		}
+		if got >= 0 || math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("fastLog1pNeg(%g) = %g not a negative finite value", z, got)
+		}
+	}
+}
+
+func TestPrefixMinFastLogPanicsOnZeroWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PrefixMinFastLog(key, 0) did not panic")
+		}
+	}()
+	PrefixMinFastLog(1, 0)
+}
+
+func TestPrefixMinFastLogRangeAndDeterminism(t *testing.T) {
+	for key := uint64(0); key < 5000; key++ {
+		w := 1 + key%1000
+		v := PrefixMinFastLog(key, w)
+		if !(v > 0 && v < 1) {
+			t.Fatalf("PrefixMinFastLog(%d,%d) = %v outside (0,1)", key, w, v)
+		}
+		if v != PrefixMinFastLog(key, w) {
+			t.Fatalf("PrefixMinFastLog(%d,%d) not deterministic", key, w)
+		}
+	}
+}
+
+// The coordination invariants hold for the fast-log process by
+// construction (it is the same record walk with a perturbed gap law).
+func TestPrefixMinFastLogMonotoneAndConsistent(t *testing.T) {
+	f := func(key uint64, wa, wb uint16) bool {
+		a, b := uint64(wa)+1, uint64(wb)+1
+		ma, mb := PrefixMinFastLog(key, a), PrefixMinFastLog(key, b)
+		if a > b {
+			a, b = b, a
+			ma, mb = mb, ma
+		}
+		return ma >= mb && math.Min(ma, mb) == PrefixMinFastLog(key, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefixMinFastLogDistribution checks E[min of w iid U(0,1)] = 1/(w+1)
+// and the wa/wb collision law — the ~1e-8 gap perturbation is invisible at
+// statistical tolerance.
+func TestPrefixMinFastLogDistribution(t *testing.T) {
+	for _, w := range []uint64{1, 2, 10, 100, 10000} {
+		const trials = 20000
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			sum += PrefixMinFastLog(Mix(uint64(i), w, 0xf1), w)
+		}
+		mean := sum / trials
+		want := 1.0 / float64(w+1)
+		tol := 6 * want / math.Sqrt(trials)
+		if math.Abs(mean-want) > tol {
+			t.Errorf("w=%d: mean=%.6g want=%.6g (tol %.2g)", w, mean, want, tol)
+		}
+	}
+	const wa, wb = 50, 100
+	const trials = 40000
+	match := 0
+	for i := 0; i < trials; i++ {
+		key := Mix(uint64(i), 0xf2)
+		if PrefixMinFastLog(key, wa) == PrefixMinFastLog(key, wb) {
+			match++
+		}
+	}
+	got := float64(match) / trials
+	if math.Abs(got-0.5) > 4*math.Sqrt(0.25/trials) {
+		t.Errorf("wa/wb collision rate %.4f, want 0.5", got)
+	}
+}
+
+func TestParallelWorkersCoversRangeOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 16, 100, 1001} {
+		var hits []int32
+		if n > 0 {
+			hits = make([]int32, n)
+		}
+		workers := WorkerCount(n)
+		seen := make([]int32, workers+1)
+		ParallelWorkers(n, workers, func(w, lo, hi int) {
+			if w < 0 || w >= workers {
+				t.Errorf("n=%d: worker ordinal %d out of [0,%d)", n, w, workers)
+			}
+			atomic.AddInt32(&seen[min(w, workers)], 1)
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i := range hits {
+			if hits[i] != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, hits[i])
+			}
+		}
+	}
+}

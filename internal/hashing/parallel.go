@@ -5,20 +5,53 @@ import (
 	"sync"
 )
 
+// Workers returns the number of workers a job of n independent items should
+// fan out to: GOMAXPROCS capped at n (and at least 1).
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Parallel runs fn(i) for every i in [0, n) across up to GOMAXPROCS
 // workers. It is used by the sketchers to parallelize over independent
 // samples: determinism is preserved because each sample derives its
 // randomness from its own index, not from shared stream state. Small jobs
 // run inline to avoid goroutine overhead.
 func Parallel(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 16 {
-		for i := 0; i < n; i++ {
+	ParallelChunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			fn(i)
 		}
+	})
+}
+
+// ParallelChunks splits [0, n) into one contiguous chunk per worker and
+// runs fn(lo, hi) for each chunk. Unlike Parallel, the callback sees the
+// whole range at once, so it can keep per-chunk state (scratch buffers,
+// running minima) without synchronization or per-item closure overhead.
+// Small jobs run inline on the calling goroutine.
+func ParallelChunks(n int, fn func(lo, hi int)) {
+	ParallelWorkers(n, WorkerCount(n), func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ParallelWorkers is ParallelChunks with the worker ordinal exposed:
+// fn(w, lo, hi) with w in [0, workers), each worker owning one contiguous
+// chunk. The caller supplies workers (normally WorkerCount(n)) and can
+// pre-size per-worker slots (e.g. a bounded result heap per worker) to
+// exactly that count — the count is never re-derived internally, so a
+// concurrent GOMAXPROCS change cannot desynchronize the two.
+func ParallelWorkers(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n < workers {
+		fn(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -33,12 +66,20 @@ func Parallel(n int, fn func(i int)) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
+			fn(w, lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+}
+
+// WorkerCount returns the number of chunks ParallelWorkers will split a
+// job of n items into: Workers(n), except that small jobs (n < 16) run
+// inline as a single chunk.
+func WorkerCount(n int) int {
+	if n < 16 {
+		return 1
+	}
+	return Workers(n)
 }

@@ -43,16 +43,45 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// mixInit is the Mix chaining seed (pi fractional bits: arbitrary non-zero).
+const mixInit = uint64(0x243F6A8885A308D3)
+
 // Mix hashes an arbitrary tuple of 64-bit words into a single well-mixed
 // word. It is used to derive independent stream seeds, e.g.
 // Mix(seed, sampleIndex, blockIndex). Mix is not 2-wise independent; it is a
 // key-derivation convenience, not a hash family with guarantees.
 func Mix(parts ...uint64) uint64 {
-	h := uint64(0x243F6A8885A308D3) // pi fractional bits: arbitrary non-zero
+	h := mixInit
 	for _, p := range parts {
-		h = mix64(h + golden + p)
+		h = Extend(h, p)
 	}
 	return h
+}
+
+// Extend continues a Mix chain with one more word:
+//
+//	Mix(a, b, c) == Extend(Extend(Mix(a), b), c)
+//
+// Hot loops use it to hoist a shared key prefix out of an inner loop —
+// e.g. block-major sketch construction derives a per-sample prefix once and
+// extends it per block, instead of re-mixing the full tuple per pair.
+func Extend(h, p uint64) uint64 {
+	return mix64(h + golden + p)
+}
+
+// ChainKeys fills buf (grown as needed, contents overwritten) with the m
+// chain keys Extend(prefix, i) for i in [0, m) — the per-sample key
+// prefixes of block-major sketch construction. One helper owns the
+// derivation so every sketch package hoists keys the same way.
+func ChainKeys(buf []uint64, prefix uint64, m int) []uint64 {
+	buf = buf[:0]
+	if cap(buf) < m {
+		buf = make([]uint64, 0, m)
+	}
+	for i := 0; i < m; i++ {
+		buf = append(buf, Extend(prefix, uint64(i)))
+	}
+	return buf
 }
 
 // Float64 returns a uniform float64 in the open interval (0, 1).

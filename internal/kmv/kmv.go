@@ -19,7 +19,6 @@ package kmv
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/hashing"
 	"repro/internal/vector"
@@ -54,31 +53,136 @@ type Sketch struct {
 
 // New sketches the vector v.
 func New(v vector.Sparse, p Params) (*Sketch, error) {
+	b, err := NewBatchBuilder(p)
+	if err != nil {
+		return nil, err
+	}
+	return b.Sketch(v)
+}
+
+// BatchBuilder sketches many vectors under one fixed Params, keeping the k
+// smallest hashes in a bounded max-heap (O(|A|·log k) instead of sorting
+// the whole support) and reusing the heap scratch across vectors; with
+// SketchInto the steady-state sketch loop is allocation-free. It is the
+// many-vector counterpart of the streaming single-vector Builder
+// (builder.go). A BatchBuilder is single-goroutine; run one per worker to
+// use every core.
+type BatchBuilder struct {
+	p    Params
+	key  uint64  // per-index hash chain prefix, fixed for the lifetime
+	heap []entry // scratch: max-heap while collecting, sorted ascending after
+}
+
+// NewBatchBuilder validates p and returns a reusable sketch builder.
+func NewBatchBuilder(p Params) (*BatchBuilder, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	key := hashing.Mix(p.Seed, 0x6b6d76 /* "kmv" */)
-	type hv struct {
-		h uint64
-		v float64
-	}
-	all := make([]hv, 0, v.NNZ())
-	v.Range(func(idx uint64, val float64) bool {
-		all = append(all, hv{h: hashing.Mix(key, idx), v: val})
-		return true
-	})
-	sort.Slice(all, func(i, j int) bool { return all[i].h < all[j].h })
-	if len(all) > p.K {
-		all = all[:p.K]
-	}
-	s := &Sketch{params: p, dim: v.Dim(), nnz: v.NNZ()}
-	s.hashes = make([]uint64, len(all))
-	s.vals = make([]float64, len(all))
-	for i, e := range all {
-		s.hashes[i] = e.h
-		s.vals[i] = e.v
+	// The per-index hash of the original formulation is
+	// Mix(Mix(seed, tag), idx); absorbing the two fixed words into a chain
+	// prefix leaves one Extend per support index.
+	return &BatchBuilder{p: p, key: hashing.Mix(hashing.Mix(p.Seed, 0x6b6d76 /* "kmv" */))}, nil
+}
+
+// Params returns the builder's construction parameters.
+func (b *BatchBuilder) Params() Params { return b.p }
+
+// Sketch sketches v into a fresh Sketch.
+func (b *BatchBuilder) Sketch(v vector.Sparse) (*Sketch, error) {
+	s := new(Sketch)
+	if err := b.SketchInto(s, v); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// SketchInto sketches v into dst, reusing dst's retained arrays when they
+// have capacity; repeated calls with the same dst allocate nothing.
+func (b *BatchBuilder) SketchInto(dst *Sketch, v vector.Sparse) error {
+	if dst == nil {
+		return errors.New("kmv: nil destination sketch")
+	}
+	hashes, vals := dst.hashes[:0], dst.vals[:0]
+	*dst = Sketch{params: b.p, dim: v.Dim(), nnz: v.NNZ()}
+
+	// Collect the k smallest hashes in a max-heap: the root is the largest
+	// retained hash and is evicted whenever a smaller one arrives.
+	h := b.heap[:0]
+	k := b.p.K
+	nnz := v.NNZ()
+	if cap(h) < k {
+		c := k
+		if nnz < c {
+			c = nnz
+		}
+		h = make([]entry, 0, c)
+	}
+	for e := 0; e < nnz; e++ {
+		idx, val := v.Entry(e)
+		hash := hashing.Extend(b.key, idx)
+		if len(h) < k {
+			h = append(h, entry{hash: hash, val: val})
+			siftUp(h, len(h)-1)
+		} else if hash < h[0].hash {
+			h[0] = entry{hash: hash, val: val}
+			siftDown(h, 0)
+		}
+	}
+	b.heap = h
+
+	// Heapsort in place: repeatedly move the max to the end, leaving the
+	// retained pairs in ascending hash order.
+	for n := len(h) - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		siftDown(h[:n], 0)
+	}
+
+	if cap(hashes) < len(h) {
+		hashes = make([]uint64, len(h))
+	}
+	if cap(vals) < len(h) {
+		vals = make([]float64, len(h))
+	}
+	hashes, vals = hashes[:len(h)], vals[:len(h)]
+	for i, e := range h {
+		hashes[i] = e.hash
+		vals[i] = e.val
+	}
+	dst.hashes, dst.vals = hashes, vals
+	// No need to restore the heap invariant: the next call truncates.
+	return nil
+}
+
+// siftUp restores the max-heap property after appending at position i.
+func siftUp(h []entry, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].hash >= h[i].hash {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap property after replacing position i.
+func siftDown(h []entry, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && h[r].hash > h[l].hash {
+			big = r
+		}
+		if h[i].hash >= h[big].hash {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
 }
 
 // Params returns the construction parameters.

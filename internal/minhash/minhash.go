@@ -75,30 +75,112 @@ func New(v vector.Sparse, p Params) (*Sketch, error) {
 		s.empty = true
 		return s, nil
 	}
+	skeys := sampleChainKeys(nil, p.Seed, p.M)
 	s.hashes = make([]uint64, p.M)
 	s.vals = make([]float64, p.M)
-	// Samples are independent; parallelize across them (determinism holds:
-	// each sample's hash function is keyed by its own index).
-	hashing.Parallel(p.M, func(i int) {
-		key := sampleKey(p.Seed, i)
-		minHash := uint64(1<<64 - 1)
-		minVal := 0.0
-		v.Range(func(idx uint64, val float64) bool {
-			if hv := hashing.Mix(key, idx); hv < minHash {
-				minHash = hv
-				minVal = val
-			}
-			return true
-		})
-		s.hashes[i] = minHash
-		s.vals[i] = minVal
+	// Samples are independent; split them across workers in contiguous
+	// chunks (determinism holds: each sample's hash function is keyed by
+	// its own index).
+	hashing.ParallelChunks(p.M, func(lo, hi int) {
+		fillBlockMajor(s.hashes[lo:hi], s.vals[lo:hi], skeys[lo:hi], v)
 	})
 	return s, nil
+}
+
+// fillBlockMajor computes a chunk of MinHash samples in entry-major order:
+// the outer loop walks the support once, the inner loop drives every
+// sample's running minimum, and each (entry, sample) hash is one Extend
+// step off the precomputed per-sample chain key — bitwise identical to the
+// per-sample Mix(key, idx) loop at a third of the mixing work.
+func fillBlockMajor(hashes []uint64, vals []float64, skeys []uint64, v vector.Sparse) {
+	for i := range hashes {
+		hashes[i] = 1<<64 - 1
+		vals[i] = 0
+	}
+	nnz := v.NNZ()
+	for e := 0; e < nnz; e++ {
+		idx, val := v.Entry(e)
+		for i := range skeys {
+			if hv := hashing.Extend(skeys[i], idx); hv < hashes[i] {
+				hashes[i] = hv
+				vals[i] = val
+			}
+		}
+	}
 }
 
 // sampleKey derives the i-th sample's hash key from the seed.
 func sampleKey(seed uint64, i int) uint64 {
 	return hashing.Mix(seed, uint64(i), 0x6d68 /* "mh" */)
+}
+
+// sampleChainKeys fills buf with the per-sample Mix-chain prefixes
+// Mix(sampleKey(seed, i)), so that the per-(sample, index) hash
+// Mix(sampleKey, idx) == Extend(chainKey, idx) costs one mix in the inner
+// loop.
+func sampleChainKeys(buf []uint64, seed uint64, m int) []uint64 {
+	buf = buf[:0]
+	if cap(buf) < m {
+		buf = make([]uint64, 0, m)
+	}
+	for i := 0; i < m; i++ {
+		buf = append(buf, hashing.Mix(sampleKey(seed, i)))
+	}
+	return buf
+}
+
+// Builder sketches many vectors under one fixed Params, reusing the
+// per-sample chain keys and (via SketchInto) the destination's sample
+// arrays, so the steady-state sketch loop is allocation-free. A Builder is
+// single-goroutine; run one per worker to use every core. Its sketches are
+// bitwise identical to New's.
+type Builder struct {
+	p     Params
+	skeys []uint64
+}
+
+// NewBuilder validates p and returns a reusable sketch builder.
+func NewBuilder(p Params) (*Builder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Builder{p: p, skeys: sampleChainKeys(nil, p.Seed, p.M)}, nil
+}
+
+// Params returns the builder's construction parameters.
+func (b *Builder) Params() Params { return b.p }
+
+// Sketch sketches v into a fresh Sketch.
+func (b *Builder) Sketch(v vector.Sparse) (*Sketch, error) {
+	s := new(Sketch)
+	if err := b.SketchInto(s, v); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SketchInto sketches v into dst, reusing dst's sample arrays when they
+// have capacity; repeated calls with the same dst allocate nothing.
+func (b *Builder) SketchInto(dst *Sketch, v vector.Sparse) error {
+	if dst == nil {
+		return errors.New("minhash: nil destination sketch")
+	}
+	hashes, vals := dst.hashes[:0], dst.vals[:0]
+	*dst = Sketch{params: b.p, dim: v.Dim()}
+	if v.IsEmpty() {
+		dst.empty = true
+		return nil
+	}
+	m := b.p.M
+	if cap(hashes) < m {
+		hashes = make([]uint64, m)
+	}
+	if cap(vals) < m {
+		vals = make([]float64, m)
+	}
+	dst.hashes, dst.vals = hashes[:m], vals[:m]
+	fillBlockMajor(dst.hashes, dst.vals, b.skeys, v)
+	return nil
 }
 
 // Params returns the construction parameters.

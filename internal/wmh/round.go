@@ -57,16 +57,30 @@ func DefaultL(dim uint64) uint64 {
 //
 // Round panics if L == 0 or L > MaxL; an empty vector yields empty slices.
 func Round(v vector.Sparse, l uint64) (idx []uint64, weights []uint64) {
+	return RoundInto(v, l, nil, nil)
+}
+
+// RoundInto is Round writing into the (possibly nil) scratch slices idxBuf
+// and weightBuf, which are truncated and grown as needed. It returns the
+// filled slices; callers that retain them across invocations (the Builder's
+// zero-allocation path) must treat the previous contents as overwritten.
+func RoundInto(v vector.Sparse, l uint64, idxBuf, weightBuf []uint64) (idx []uint64, weights []uint64) {
 	if l == 0 || l > MaxL {
 		panic("wmh: discretization parameter L out of range")
 	}
 	if v.IsEmpty() {
-		return nil, nil
+		return idxBuf[:0], weightBuf[:0]
 	}
 	normSq := v.SquaredNorm()
 	nnz := v.NNZ()
-	idx = make([]uint64, 0, nnz)
-	weights = make([]uint64, 0, nnz)
+	idx = idxBuf[:0]
+	weights = weightBuf[:0]
+	if cap(idx) < nnz {
+		idx = make([]uint64, 0, nnz)
+	}
+	if cap(weights) < nnz {
+		weights = make([]uint64, 0, nnz)
+	}
 
 	// First pass: floor every squared normalized entry to a multiple of
 	// 1/L, remembering the largest-magnitude entry (paper line 2).

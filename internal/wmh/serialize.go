@@ -43,12 +43,13 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if err := r.Close(); err != nil {
 		return fmt.Errorf("wmh: decoding sketch: %w", err)
 	}
-	p := Params{M: int(m), Seed: seed, L: lParam, QuantizeValues: quantized}
+	if vr != variantFast && vr != variantNaive && vr != variantFastLog {
+		return fmt.Errorf("wmh: unknown sketch variant %d", vr)
+	}
+	// Params.FastLog is implied by (and encoded as) the variant byte.
+	p := Params{M: int(m), Seed: seed, L: lParam, QuantizeValues: quantized, FastLog: vr == variantFastLog}
 	if err := p.Validate(); err != nil {
 		return err
-	}
-	if vr != variantFast && vr != variantNaive {
-		return fmt.Errorf("wmh: unknown sketch variant %d", vr)
 	}
 	if l == 0 || l > MaxL {
 		return fmt.Errorf("wmh: resolved L %d out of range", l)

@@ -163,6 +163,32 @@ type Config struct {
 	// negligible (~1e-7 relative) precision cost. The paper's storage
 	// discussion names this as the natural next optimization.
 	Quantize bool
+	// FastHash selects the polynomial-logarithm record process for
+	// methods that support it (currently WMH): measurably faster sketch
+	// construction at a ~1e-8 relative perturbation of the sampling
+	// distribution, far below sampling noise (see DESIGN.md). Sketches
+	// built with and without FastHash use different randomness and are
+	// not comparable with each other.
+	FastHash bool
+}
+
+// countSketchReps resolves the CountSketch repetition count (the paper's 5
+// when Reps is zero). Both size derivation and construction go through
+// this single helper so the two can never drift.
+func (c Config) countSketchReps() int {
+	if c.Reps == 0 {
+		return linear.DefaultReps
+	}
+	return c.Reps
+}
+
+// wmhParams derives the WMH construction parameters for a sketcher of the
+// given sample count.
+func (c Config) wmhParams(samples int) wmh.Params {
+	return wmh.Params{
+		M: samples, Seed: c.Seed, L: c.L,
+		QuantizeValues: c.Quantize, FastLog: c.FastHash,
+	}
 }
 
 // Validate reports whether the configuration is usable.
@@ -209,10 +235,7 @@ func (c Config) samples() (int, error) {
 	case MethodJL:
 		return c.StorageWords, nil
 	case MethodCountSketch:
-		reps := c.Reps
-		if reps == 0 {
-			reps = linear.DefaultReps
-		}
+		reps := c.countSketchReps()
 		b := c.StorageWords / reps
 		if b < 1 {
 			return 0, fmt.Errorf("ipsketch: budget %d too small for CountSketch with %d reps", c.StorageWords, reps)
@@ -273,10 +296,7 @@ func (s *Sketcher) Sketch(v Vector) (*Sketch, error) {
 	var err error
 	switch s.cfg.Method {
 	case MethodWMH:
-		out.wmh, err = wmh.New(v, wmh.Params{
-			M: s.size, Seed: s.cfg.Seed, L: s.cfg.L,
-			QuantizeValues: s.cfg.Quantize,
-		})
+		out.wmh, err = wmh.New(v, s.cfg.wmhParams(s.size))
 	case MethodMH:
 		out.mh, err = minhash.New(v, minhash.Params{M: s.size, Seed: s.cfg.Seed})
 	case MethodKMV:
@@ -284,11 +304,7 @@ func (s *Sketcher) Sketch(v Vector) (*Sketch, error) {
 	case MethodJL:
 		out.jl, err = linear.NewJL(v, linear.JLParams{M: s.size, Seed: s.cfg.Seed})
 	case MethodCountSketch:
-		reps := s.cfg.Reps
-		if reps == 0 {
-			reps = linear.DefaultReps
-		}
-		out.cs, err = linear.NewCountSketch(v, linear.CSParams{Buckets: s.size, Reps: reps, Seed: s.cfg.Seed})
+		out.cs, err = linear.NewCountSketch(v, linear.CSParams{Buckets: s.size, Reps: s.cfg.countSketchReps(), Seed: s.cfg.Seed})
 	case MethodICWS:
 		out.cws, err = cws.New(v, cws.Params{M: s.size, Seed: s.cfg.Seed})
 	case MethodSimHash:

@@ -1,0 +1,98 @@
+package ipsketch
+
+import (
+	"math"
+	"testing"
+)
+
+// resultsIdentical compares two results field by field, treating float
+// fields bitwise so NaN statistics (e.g. correlation of a size-0 join)
+// compare equal to themselves.
+func resultsIdentical(a, b SearchResult) bool {
+	f64 := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.Table == b.Table && a.Column == b.Column &&
+		f64(a.Score, b.Score) &&
+		f64(a.Stats.Size, b.Stats.Size) &&
+		f64(a.Stats.SumA, b.Stats.SumA) && f64(a.Stats.SumB, b.Stats.SumB) &&
+		f64(a.Stats.MeanA, b.Stats.MeanA) && f64(a.Stats.MeanB, b.Stats.MeanB) &&
+		f64(a.Stats.VarA, b.Stats.VarA) && f64(a.Stats.VarB, b.Stats.VarB) &&
+		f64(a.Stats.InnerProduct, b.Stats.InnerProduct) &&
+		f64(a.Stats.Covariance, b.Stats.Covariance) &&
+		f64(a.Stats.Correlation, b.Stats.Correlation)
+}
+
+// TestSearchTopKPrefixOfSearch: for every k, SearchTopK must return
+// exactly the first k entries of the full ranking.
+func TestSearchTopKPrefixOfSearch(t *testing.T) {
+	_, qSk, ix := buildSearchFixture(t)
+	for _, by := range []RankBy{RankByJoinSize, RankByAbsCorrelation, RankByAbsInnerProduct} {
+		full, err := ix.Search(qSk, "v", by, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= len(full)+2; k++ {
+			top, err := ix.SearchTopK(qSk, "v", by, 1, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := k
+			if want > len(full) {
+				want = len(full)
+			}
+			if len(top) != want {
+				t.Fatalf("by=%d k=%d: got %d results, want %d", by, k, len(top), want)
+			}
+			for i := range top {
+				if !resultsIdentical(top[i], full[i]) {
+					t.Fatalf("by=%d k=%d: result %d differs: %+v vs %+v", by, k, i, top[i], full[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSearchDeterministic: repeated parallel searches must return
+// identical rankings.
+func TestSearchDeterministic(t *testing.T) {
+	_, qSk, ix := buildSearchFixture(t)
+	first, err := ix.Search(qSk, "v", RankByJoinSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		again, err := ix.Search(qSk, "v", RankByJoinSize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("trial %d: %d results vs %d", trial, len(again), len(first))
+		}
+		for i := range first {
+			if !resultsIdentical(first[i], again[i]) {
+				t.Fatalf("trial %d: result %d differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestSearchTopKErrors: nil query and unknown rankings must fail, k == 0
+// must return nothing.
+func TestSearchTopKErrors(t *testing.T) {
+	_, qSk, ix := buildSearchFixture(t)
+	if _, err := ix.SearchTopK(nil, "v", RankByJoinSize, 0, 3); err == nil {
+		t.Fatal("nil query accepted")
+	}
+	if _, err := ix.SearchTopK(qSk, "v", RankBy(99), 0, 3); err == nil {
+		t.Fatal("unknown ranking accepted")
+	}
+	if _, err := ix.SearchTopK(qSk, "missing", RankByJoinSize, 0, 3); err == nil {
+		t.Fatal("missing query column accepted")
+	}
+	res, err := ix.SearchTopK(qSk, "v", RankByJoinSize, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("k=0 returned %d results", len(res))
+	}
+}

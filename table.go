@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/tables"
 )
@@ -112,12 +113,14 @@ func (ts *TableSketcher) SketchTable(t *Table, cols ...string) (*TableSketch, er
 	return out, nil
 }
 
-// Columns returns the sketched column names.
+// Columns returns the sketched column names in sorted order (so catalog
+// scans and search tie-breaking are deterministic).
 func (tsk *TableSketch) Columns() []string {
 	out := make([]string, 0, len(tsk.val))
 	for c := range tsk.val {
 		out = append(out, c)
 	}
+	sort.Strings(out)
 	return out
 }
 
