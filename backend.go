@@ -1,0 +1,166 @@
+package ipsketch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errNilSketch rejects nil sketches at every estimator entry point.
+var errNilSketch = errors.New("ipsketch: nil sketch")
+
+// This file is the method-dispatch substrate of the package: a registry of
+// per-method-family backends behind one narrow interface. Every public
+// entry point (construction, estimation, batching, serialization,
+// similarity) routes through the registry, so adding a sketching method is
+// one backend file that calls register — no switch statement anywhere in
+// the public API grows a case. Optional estimator surfaces (join size,
+// Jaccard, cardinalities, error bounds) are capability interfaces asserted
+// at the call site, so they extend automatically to any backend that
+// implements them.
+
+// payload is the method-specific content of a Sketch. Concrete types live
+// in the internal sketch packages; the public Sketch wraps exactly one.
+type payload interface {
+	// StorageWords is the sketch size in 64-bit words under the paper's
+	// accounting.
+	StorageWords() float64
+	// MarshalBinary encodes the method payload (without the envelope).
+	MarshalBinary() ([]byte, error)
+}
+
+// builder constructs sketches one at a time with reusable scratch. A
+// builder is single-goroutine; batch APIs run one per worker.
+type builder interface {
+	sketch(v Vector) (payload, error)
+}
+
+// backend implements one method family. Implementations are registered at
+// init time, exactly one per Method value.
+type backend interface {
+	// name is the method's display name (as in the paper's plots).
+	name() string
+	// size derives the method-specific size parameter (samples, rows,
+	// buckets, bits) from the configured storage budget.
+	size(cfg Config) (int, error)
+	// sketch summarizes one vector. Implementations may parallelize
+	// internally; batch callers use newBuilder instead.
+	sketch(cfg Config, size int, v Vector) (payload, error)
+	// newBuilder returns a fresh builder for the configuration. Builders
+	// own all construction scratch, so the batch steady state allocates
+	// only the returned sketches.
+	newBuilder(cfg Config, size int) (builder, error)
+	// compatible reports why two payloads of this backend cannot be
+	// compared (construction parameter, seed, or variant mismatch), or nil.
+	compatible(a, b payload) error
+	// estimate returns the inner-product estimate. Dispatch runs
+	// compatible first, but implementations still verify their inputs
+	// (the internal estimators own that invariant; the pre-check exists
+	// so every public entry point fails before touching estimator math).
+	estimate(a, b payload) (float64, error)
+	// unmarshal decodes a payload from its serialized form. The wire
+	// format of a registered method is frozen (see testdata/golden).
+	unmarshal(data []byte) (payload, error)
+}
+
+// Optional backend capabilities. A backend advertises an extra estimator
+// surface by implementing the interface; callers assert, so new backends
+// pick these up with zero dispatch-site changes.
+
+// joinSizeEstimator is implemented by backends with a dedicated |A∩B|
+// estimator that beats the generic inner-product reduction.
+type joinSizeEstimator interface {
+	estimateJoinSize(a, b payload) (float64, error)
+}
+
+// similarityEstimator is implemented by backends whose samples estimate a
+// (possibly weighted) Jaccard similarity.
+type similarityEstimator interface {
+	estimateJaccard(a, b payload) (float64, error)
+}
+
+// cardinalityEstimator is implemented by backends whose hashes double as
+// distinct-count estimators for supports and support unions.
+type cardinalityEstimator interface {
+	estimateSupportSize(p payload) (float64, error)
+	estimateUnionSize(a, b payload) (float64, error)
+}
+
+// errorBounder is implemented by backends whose sketches carry enough
+// information to estimate their own error scale.
+type errorBounder interface {
+	estimateWithBound(a, b payload) (estimate, errScale float64, err error)
+}
+
+// quantizable is implemented by backends that honor Config.Quantize;
+// Config.Validate rejects the flag for any other method instead of
+// silently ignoring it.
+type quantizable interface {
+	quantizable()
+}
+
+// fastHashable is implemented by backends that honor Config.FastHash;
+// Config.Validate rejects the flag for any other method instead of
+// silently ignoring it.
+type fastHashable interface {
+	fastHashable()
+}
+
+// backends is the registry, indexed by Method. Each backend file populates
+// its slot from init; Methods() and the numMethods sentinel stay the
+// single source of truth for how many slots exist.
+var backends [numMethods]backend
+
+// register installs a backend; each backend file calls it exactly once per
+// Method it owns.
+func register(m Method, be backend) {
+	if m < 0 || m >= numMethods {
+		panic(fmt.Sprintf("ipsketch: registering backend for out-of-range method %d", int(m)))
+	}
+	if backends[m] != nil {
+		panic(fmt.Sprintf("ipsketch: duplicate backend for method %v", m))
+	}
+	backends[m] = be
+}
+
+// backendFor resolves a method to its registered backend.
+func backendFor(m Method) (backend, error) {
+	if m < 0 || m >= numMethods || backends[m] == nil {
+		return nil, fmt.Errorf("ipsketch: unknown method %d", int(m))
+	}
+	return backends[m], nil
+}
+
+// pairBackend resolves the shared backend of two sketches, rejecting nil
+// sketches and method mismatches — the common prologue of every pairwise
+// estimator.
+func pairBackend(a, b *Sketch) (backend, error) {
+	if a == nil || b == nil {
+		return nil, errNilSketch
+	}
+	if a.method != b.method {
+		return nil, fmt.Errorf("ipsketch: method mismatch %v vs %v", a.method, b.method)
+	}
+	return backendFor(a.method)
+}
+
+// payloadAs asserts a payload to a backend's concrete sketch type. The
+// dispatch layer guarantees the method matches, so a failure here means a
+// corrupted Sketch, which is reported rather than allowed to panic.
+func payloadAs[T payload](p payload) (T, error) {
+	t, ok := p.(T)
+	if !ok {
+		return t, fmt.Errorf("ipsketch: payload type %T does not belong to this backend", p)
+	}
+	return t, nil
+}
+
+// payloadPair asserts both payloads of a pairwise estimator.
+func payloadPair[T payload](a, b payload) (T, T, error) {
+	ta, err := payloadAs[T](a)
+	if err != nil {
+		var zero T
+		return ta, zero, err
+	}
+	tb, err := payloadAs[T](b)
+	return ta, tb, err
+}

@@ -1,0 +1,89 @@
+package ipsketch
+
+import (
+	"fmt"
+
+	"repro/internal/cws"
+)
+
+// cwsBackend adapts internal/cws — Ioffe's Improved Consistent Weighted
+// Sampling, the continuous-weight alternative to WMH's discretized
+// expansion (DESIGN.md §2).
+type cwsBackend struct{}
+
+func init() { register(MethodICWS, cwsBackend{}) }
+
+func (cwsBackend) name() string { return "ICWS" }
+
+func (cwsBackend) size(cfg Config) (int, error) {
+	// 2.5 words per sample (index + level + value) after one norm word.
+	s := int(float64(cfg.StorageWords-1) / 2.5)
+	if s < 1 {
+		return 0, fmt.Errorf("ipsketch: budget %d too small for ICWS", cfg.StorageWords)
+	}
+	return s, nil
+}
+
+func (cwsBackend) params(cfg Config, size int) cws.Params {
+	return cws.Params{M: size, Seed: cfg.Seed}
+}
+
+func (be cwsBackend) sketch(cfg Config, size int, v Vector) (payload, error) {
+	sk, err := cws.New(v, be.params(cfg, size))
+	if err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+type cwsBuilder struct{ b *cws.Builder }
+
+func (c cwsBuilder) sketch(v Vector) (payload, error) {
+	sk, err := c.b.Sketch(v)
+	if err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+func (be cwsBackend) newBuilder(cfg Config, size int) (builder, error) {
+	b, err := cws.NewBuilder(be.params(cfg, size))
+	if err != nil {
+		return nil, err
+	}
+	return cwsBuilder{b}, nil
+}
+
+func (cwsBackend) compatible(a, b payload) error {
+	pa, pb, err := payloadPair[*cws.Sketch](a, b)
+	if err != nil {
+		return err
+	}
+	return cws.Compatible(pa, pb)
+}
+
+func (cwsBackend) estimate(a, b payload) (float64, error) {
+	pa, pb, err := payloadPair[*cws.Sketch](a, b)
+	if err != nil {
+		return 0, err
+	}
+	return cws.Estimate(pa, pb)
+}
+
+func (cwsBackend) unmarshal(data []byte) (payload, error) {
+	s := new(cws.Sketch)
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// estimateJaccard implements similarityEstimator: the per-sample collision
+// rate estimates the weighted Jaccard similarity exactly as WMH does.
+func (cwsBackend) estimateJaccard(a, b payload) (float64, error) {
+	pa, pb, err := payloadPair[*cws.Sketch](a, b)
+	if err != nil {
+		return 0, err
+	}
+	return cws.WeightedJaccardEstimate(pa, pb)
+}

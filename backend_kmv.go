@@ -1,0 +1,131 @@
+package ipsketch
+
+import (
+	"fmt"
+
+	"repro/internal/kmv"
+)
+
+// kmvBackend adapts internal/kmv — the K-Minimum-Values bottom-k sketch.
+// Its coordinated sample has a dedicated join-size estimator that ignores
+// values entirely, so it advertises the joinSizeEstimator capability on
+// top of similarity and cardinalities.
+type kmvBackend struct{}
+
+func init() { register(MethodKMV, kmvBackend{}) }
+
+func (kmvBackend) name() string { return "KMV" }
+
+func (kmvBackend) size(cfg Config) (int, error) {
+	// 1.5 words per retained sample (32-bit hash + 64-bit value).
+	s := int(float64(cfg.StorageWords) / 1.5)
+	if s < 1 {
+		return 0, fmt.Errorf("ipsketch: budget %d too small for KMV", cfg.StorageWords)
+	}
+	return s, nil
+}
+
+func (kmvBackend) params(cfg Config, size int) kmv.Params {
+	return kmv.Params{K: size, Seed: cfg.Seed}
+}
+
+func (be kmvBackend) sketch(cfg Config, size int, v Vector) (payload, error) {
+	sk, err := kmv.New(v, be.params(cfg, size))
+	if err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+type kmvBuilder struct{ b *kmv.BatchBuilder }
+
+func (k kmvBuilder) sketch(v Vector) (payload, error) {
+	sk, err := k.b.Sketch(v)
+	if err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+func (be kmvBackend) newBuilder(cfg Config, size int) (builder, error) {
+	b, err := kmv.NewBatchBuilder(be.params(cfg, size))
+	if err != nil {
+		return nil, err
+	}
+	return kmvBuilder{b}, nil
+}
+
+func (kmvBackend) compatible(a, b payload) error {
+	pa, pb, err := payloadPair[*kmv.Sketch](a, b)
+	if err != nil {
+		return err
+	}
+	return kmv.Compatible(pa, pb)
+}
+
+func (kmvBackend) estimate(a, b payload) (float64, error) {
+	pa, pb, err := payloadPair[*kmv.Sketch](a, b)
+	if err != nil {
+		return 0, err
+	}
+	return kmv.Estimate(pa, pb)
+}
+
+func (kmvBackend) unmarshal(data []byte) (payload, error) {
+	s := new(kmv.Sketch)
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// estimateJoinSize implements joinSizeEstimator: the threshold estimate of
+// |A∩B| from matched hashes alone, exact under full retention.
+func (kmvBackend) estimateJoinSize(a, b payload) (float64, error) {
+	pa, pb, err := payloadPair[*kmv.Sketch](a, b)
+	if err != nil {
+		return 0, err
+	}
+	return kmv.JoinSizeEstimate(pa, pb)
+}
+
+// estimateJaccard implements similarityEstimator as the ratio of the
+// threshold intersection and union estimates, clamped to [0, 1].
+func (kmvBackend) estimateJaccard(a, b payload) (float64, error) {
+	pa, pb, err := payloadPair[*kmv.Sketch](a, b)
+	if err != nil {
+		return 0, err
+	}
+	inter, err := kmv.JoinSizeEstimate(pa, pb)
+	if err != nil {
+		return 0, err
+	}
+	union, err := kmv.UnionEstimate(pa, pb)
+	if err != nil {
+		return 0, err
+	}
+	if union <= 0 {
+		return 0, nil
+	}
+	j := inter / union
+	if j > 1 {
+		j = 1
+	}
+	return j, nil
+}
+
+func (kmvBackend) estimateSupportSize(p payload) (float64, error) {
+	sk, err := payloadAs[*kmv.Sketch](p)
+	if err != nil {
+		return 0, err
+	}
+	return sk.DistinctEstimate(), nil
+}
+
+func (kmvBackend) estimateUnionSize(a, b payload) (float64, error) {
+	pa, pb, err := payloadPair[*kmv.Sketch](a, b)
+	if err != nil {
+		return 0, err
+	}
+	return kmv.UnionEstimate(pa, pb)
+}

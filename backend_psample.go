@@ -1,0 +1,93 @@
+package ipsketch
+
+import (
+	"fmt"
+
+	"repro/internal/psample"
+)
+
+// psampleBackend adapts internal/psample — the priority / threshold
+// sampling sketches of the follow-up paper "Sampling Methods for Inner
+// Product Sketching" (Daliri, Freire, Musco, Santos; arXiv:2309.16157).
+// One parameterized backend serves both MethodPS and MethodTS; it is the
+// extensibility proof for the registry: the whole integration — batch
+// APIs, serialization, median boosting, index search — is this file plus
+// the enum entries.
+type psampleBackend struct {
+	mode    psample.Mode
+	display string
+}
+
+func init() {
+	register(MethodPS, psampleBackend{mode: psample.Priority, display: "PS"})
+	register(MethodTS, psampleBackend{mode: psample.Threshold, display: "TS"})
+}
+
+func (be psampleBackend) name() string { return be.display }
+
+func (be psampleBackend) size(cfg Config) (int, error) {
+	// 1.5 words per budgeted sample (32-bit index hash + 64-bit value)
+	// after one word for the norm (TS) or threshold rank (PS).
+	s := int(float64(cfg.StorageWords-1) / 1.5)
+	if s < 1 {
+		return 0, fmt.Errorf("ipsketch: budget %d too small for %s", cfg.StorageWords, be.display)
+	}
+	return s, nil
+}
+
+func (be psampleBackend) params(cfg Config, size int) psample.Params {
+	return psample.Params{K: size, Seed: cfg.Seed, Mode: be.mode}
+}
+
+func (be psampleBackend) sketch(cfg Config, size int, v Vector) (payload, error) {
+	sk, err := psample.New(v, be.params(cfg, size))
+	if err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+type psampleBuilder struct{ b *psample.Builder }
+
+func (p psampleBuilder) sketch(v Vector) (payload, error) {
+	sk, err := p.b.Sketch(v)
+	if err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+func (be psampleBackend) newBuilder(cfg Config, size int) (builder, error) {
+	b, err := psample.NewBuilder(be.params(cfg, size))
+	if err != nil {
+		return nil, err
+	}
+	return psampleBuilder{b}, nil
+}
+
+func (be psampleBackend) compatible(a, b payload) error {
+	pa, pb, err := payloadPair[*psample.Sketch](a, b)
+	if err != nil {
+		return err
+	}
+	return psample.Compatible(pa, pb)
+}
+
+func (be psampleBackend) estimate(a, b payload) (float64, error) {
+	pa, pb, err := payloadPair[*psample.Sketch](a, b)
+	if err != nil {
+		return 0, err
+	}
+	return psample.Estimate(pa, pb)
+}
+
+func (be psampleBackend) unmarshal(data []byte) (payload, error) {
+	s := new(psample.Sketch)
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	if s.Params().Mode != be.mode {
+		return nil, fmt.Errorf("ipsketch: %s payload carries %v-mode sample", be.display, s.Params().Mode)
+	}
+	return s, nil
+}

@@ -1,0 +1,115 @@
+package ipsketch
+
+import (
+	"fmt"
+
+	"repro/internal/wmh"
+)
+
+// wmhBackend adapts internal/wmh — the paper's Weighted MinHash sketch
+// (Algorithms 3–5) — to the backend registry. It is the only backend that
+// estimates its own error bound (Theorem 2 is data-driven through the
+// stored norms) and the only one honoring Config.Quantize.
+type wmhBackend struct{}
+
+func init() { register(MethodWMH, wmhBackend{}) }
+
+func (wmhBackend) name() string { return "WMH" }
+
+func (wmhBackend) size(cfg Config) (int, error) {
+	// 1.5 words per sample after one word for the stored norm; Quantize
+	// shrinks values to 32 bits (1 word per sample).
+	perSample := 1.5
+	if cfg.Quantize {
+		perSample = 1.0
+	}
+	s := int(float64(cfg.StorageWords-1) / perSample)
+	if s < 1 {
+		return 0, fmt.Errorf("ipsketch: budget %d too small for WMH", cfg.StorageWords)
+	}
+	return s, nil
+}
+
+func (wmhBackend) sketch(cfg Config, size int, v Vector) (payload, error) {
+	sk, err := wmh.New(v, cfg.wmhParams(size))
+	if err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+type wmhBuilder struct{ b *wmh.Builder }
+
+func (w wmhBuilder) sketch(v Vector) (payload, error) {
+	sk, err := w.b.Sketch(v)
+	if err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+func (wmhBackend) newBuilder(cfg Config, size int) (builder, error) {
+	b, err := wmh.NewBuilder(cfg.wmhParams(size))
+	if err != nil {
+		return nil, err
+	}
+	return wmhBuilder{b}, nil
+}
+
+func (wmhBackend) compatible(a, b payload) error {
+	pa, pb, err := payloadPair[*wmh.Sketch](a, b)
+	if err != nil {
+		return err
+	}
+	return wmh.Compatible(pa, pb)
+}
+
+func (wmhBackend) estimate(a, b payload) (float64, error) {
+	pa, pb, err := payloadPair[*wmh.Sketch](a, b)
+	if err != nil {
+		return 0, err
+	}
+	return wmh.Estimate(pa, pb)
+}
+
+func (wmhBackend) unmarshal(data []byte) (payload, error) {
+	s := new(wmh.Sketch)
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// estimateWithBound implements errorBounder: the Theorem 2 error scale
+// max(‖a_I‖‖b‖, ‖a‖‖b_I‖)/√m estimated from the sketches themselves.
+func (wmhBackend) estimateWithBound(a, b payload) (float64, float64, error) {
+	pa, pb, err := payloadPair[*wmh.Sketch](a, b)
+	if err != nil {
+		return 0, 0, err
+	}
+	estimate, err := wmh.Estimate(pa, pb)
+	if err != nil {
+		return 0, 0, err
+	}
+	bound, err := wmh.EstimateErrorBound(pa, pb)
+	if err != nil {
+		return 0, 0, err
+	}
+	return estimate, bound.PerSqrtM, nil
+}
+
+// estimateJaccard implements similarityEstimator: the weighted Jaccard
+// similarity Σmin(ã²,b̃²)/Σmax(ã²,b̃²) of the squared normalized vectors.
+func (wmhBackend) estimateJaccard(a, b payload) (float64, error) {
+	pa, pb, err := payloadPair[*wmh.Sketch](a, b)
+	if err != nil {
+		return 0, err
+	}
+	return wmh.WeightedJaccardEstimate(pa, pb)
+}
+
+// quantizable marks that Config.Quantize is honored.
+func (wmhBackend) quantizable() {}
+
+// fastHashable marks that Config.FastHash is honored.
+func (wmhBackend) fastHashable() {}

@@ -4,11 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/cws"
 	"repro/internal/hashing"
-	"repro/internal/kmv"
-	"repro/internal/minhash"
-	"repro/internal/wmh"
 )
 
 // This file is the batch surface of the sketching engine: catalog-scale
@@ -17,7 +13,9 @@ import (
 // per-worker builder scratch so the steady state allocates only the
 // returned sketches. Results are deterministic and identical to the
 // corresponding one-at-a-time calls: batching changes the schedule, never
-// the output.
+// the output. Per-method construction comes from the backend registry —
+// each worker asks the sketcher's backend for one builder and reuses it
+// across its whole partition.
 
 // SketchAll sketches every vector in vs and returns the sketches in order.
 // It is the high-throughput path for sketching a catalog: vectors are
@@ -51,54 +49,17 @@ func (s *Sketcher) SketchAll(vs []Vector) ([]*Sketch, error) {
 // returned error is a builder-construction failure; per-vector errors land
 // in errs.
 func (s *Sketcher) sketchRange(vs []Vector, out []*Sketch, errs []error, lo, hi int) error {
-	switch s.cfg.Method {
-	case MethodWMH:
-		b, err := wmh.NewBuilder(s.cfg.wmhParams(s.size))
-		if err != nil {
-			return err
-		}
-		for i := lo; i < hi; i++ {
-			sk, err := b.Sketch(vs[i])
-			out[i], errs[i] = &Sketch{method: MethodWMH, wmh: sk}, err
-		}
-	case MethodMH:
-		b, err := minhash.NewBuilder(minhash.Params{M: s.size, Seed: s.cfg.Seed})
-		if err != nil {
-			return err
-		}
-		for i := lo; i < hi; i++ {
-			sk, err := b.Sketch(vs[i])
-			out[i], errs[i] = &Sketch{method: MethodMH, mh: sk}, err
-		}
-	case MethodKMV:
-		b, err := kmv.NewBatchBuilder(kmv.Params{K: s.size, Seed: s.cfg.Seed})
-		if err != nil {
-			return err
-		}
-		for i := lo; i < hi; i++ {
-			sk, err := b.Sketch(vs[i])
-			out[i], errs[i] = &Sketch{method: MethodKMV, kmv: sk}, err
-		}
-	case MethodICWS:
-		b, err := cws.NewBuilder(cws.Params{M: s.size, Seed: s.cfg.Seed})
-		if err != nil {
-			return err
-		}
-		for i := lo; i < hi; i++ {
-			sk, err := b.Sketch(vs[i])
-			out[i], errs[i] = &Sketch{method: MethodICWS, cws: sk}, err
-		}
-	default:
-		// Linear sketches have no reusable scratch; the chunked fan-out
-		// still parallelizes them across vectors.
-		for i := lo; i < hi; i++ {
-			out[i], errs[i] = s.Sketch(vs[i])
-		}
+	b, err := s.be.newBuilder(s.cfg, s.size)
+	if err != nil {
+		return err
 	}
 	for i := lo; i < hi; i++ {
-		if errs[i] != nil {
-			out[i] = nil
+		p, err := b.sketch(vs[i])
+		if err != nil {
+			out[i], errs[i] = nil, err
+			continue
 		}
+		out[i], errs[i] = &Sketch{method: s.cfg.Method, payload: p}, nil
 	}
 	return nil
 }

@@ -146,6 +146,8 @@ func BenchmarkSketch_JL(b *testing.B)          { benchSketch(b, ipsketch.MethodJ
 func BenchmarkSketch_CountSketch(b *testing.B) { benchSketch(b, ipsketch.MethodCountSketch, 400) }
 func BenchmarkSketch_ICWS(b *testing.B)        { benchSketch(b, ipsketch.MethodICWS, 400) }
 func BenchmarkSketch_SimHash(b *testing.B)     { benchSketch(b, ipsketch.MethodSimHash, 9) }
+func BenchmarkSketch_PS(b *testing.B)          { benchSketch(b, ipsketch.MethodPS, 400) }
+func BenchmarkSketch_TS(b *testing.B)          { benchSketch(b, ipsketch.MethodTS, 400) }
 
 func benchEstimate(b *testing.B, m ipsketch.Method, storage int) {
 	av, bv := paperVectors(b, 0.1)
@@ -176,6 +178,8 @@ func BenchmarkEstimate_JL(b *testing.B)          { benchEstimate(b, ipsketch.Met
 func BenchmarkEstimate_CountSketch(b *testing.B) { benchEstimate(b, ipsketch.MethodCountSketch, 400) }
 func BenchmarkEstimate_ICWS(b *testing.B)        { benchEstimate(b, ipsketch.MethodICWS, 400) }
 func BenchmarkEstimate_SimHash(b *testing.B)     { benchEstimate(b, ipsketch.MethodSimHash, 9) }
+func BenchmarkEstimate_PS(b *testing.B)          { benchEstimate(b, ipsketch.MethodPS, 400) }
+func BenchmarkEstimate_TS(b *testing.B)          { benchEstimate(b, ipsketch.MethodTS, 400) }
 
 // --- Engine micro-benchmarks: batch sketching, builders, top-k search ---
 //

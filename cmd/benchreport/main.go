@@ -3,12 +3,13 @@
 // perf trajectory: each PR that touches a hot path records before/after
 // numbers in a new report, so regressions are a diff away.
 //
-//	go run ./cmd/benchreport -o BENCH_1.json
+//	go run ./cmd/benchreport -o BENCH_2.json
 //	go run ./cmd/benchreport -bench 'BenchmarkSearch' -benchtime 2s -count 3
 //
 // The default benchmark set covers the sketching engine's hot paths:
-// per-method sketch construction, estimation, batch sketching, and top-k
-// index search. Figure-regeneration benchmarks are excluded (they measure
+// per-method sketch construction and estimation (every registered method,
+// including the priority/threshold sampling backends), batch sketching,
+// and top-k index search. Figure-regeneration benchmarks are excluded (they measure
 // reproduction accuracy, not throughput; run them with plain `go test
 // -bench`).
 package main
@@ -55,7 +56,7 @@ type Benchmark struct {
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_1.json", "output file ('-' for stdout)")
+		out       = flag.String("o", "BENCH_2.json", "output file ('-' for stdout)")
 		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value; the best run per benchmark is kept")

@@ -143,7 +143,6 @@ func main() {
 	}
 }
 
-
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "datasearch:", err)
 	os.Exit(1)

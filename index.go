@@ -25,6 +25,8 @@ import (
 // SearchTopK keeps only a bounded per-worker heap of the k best
 // candidates, so catalog search scales with cores and pays O(n log k)
 // instead of O(n log n) for the k results callers actually want.
+// Scoring dispatches through the backend registry (EstimateJoinStats →
+// Estimate), so an index works unchanged for every registered method.
 type SketchIndex struct {
 	entries []*TableSketch
 	byName  map[string]int

@@ -219,6 +219,9 @@ func (s *Sketch) StorageWords() float64 {
 	return 2.5*float64(s.params.M) + 1
 }
 
+// Compatible reports why two sketches cannot be compared, or nil.
+func Compatible(a, b *Sketch) error { return compatible(a, b) }
+
 func compatible(a, b *Sketch) error {
 	if a.params != b.params {
 		return fmt.Errorf("cws: incompatible params %+v vs %+v", a.params, b.params)

@@ -111,11 +111,9 @@ func (b *BatchBuilder) SketchInto(dst *Sketch, v vector.Sparse) error {
 	k := b.p.K
 	nnz := v.NNZ()
 	if cap(h) < k {
-		c := k
-		if nnz < c {
-			c = nnz
-		}
-		h = make([]entry, 0, c)
+		// Full capacity up front: sizing to the current support would
+		// reallocate on every vector larger than all previous ones.
+		h = make([]entry, 0, k)
 	}
 	for e := 0; e < nnz; e++ {
 		idx, val := v.Entry(e)
@@ -211,6 +209,9 @@ func (s *Sketch) DistinctEstimate() float64 {
 	k := len(s.hashes)
 	return float64(k-1) / hashing.UnitFromBits(s.hashes[k-1])
 }
+
+// Compatible reports why two sketches cannot be compared, or nil.
+func Compatible(a, b *Sketch) error { return compatible(a, b) }
 
 func compatible(a, b *Sketch) error {
 	if a.params != b.params {

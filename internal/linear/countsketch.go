@@ -79,14 +79,22 @@ func (s *CSSketch) StorageWords() float64 {
 	return float64(s.params.Reps * s.params.Buckets)
 }
 
+// CompatibleCS reports why two CountSketches cannot be compared, or nil.
+func CompatibleCS(a, b *CSSketch) error {
+	if a.params != b.params {
+		return fmt.Errorf("linear: incompatible CountSketch params %+v vs %+v", a.params, b.params)
+	}
+	if a.dim != b.dim {
+		return fmt.Errorf("linear: CountSketch dimension mismatch %d vs %d", a.dim, b.dim)
+	}
+	return nil
+}
+
 // EstimateCountSketch returns the median over repetitions of the
 // per-repetition estimates ⟨row_r(a), row_r(b)⟩.
 func EstimateCountSketch(a, b *CSSketch) (float64, error) {
-	if a.params != b.params {
-		return 0, fmt.Errorf("linear: incompatible CountSketch params %+v vs %+v", a.params, b.params)
-	}
-	if a.dim != b.dim {
-		return 0, fmt.Errorf("linear: CountSketch dimension mismatch %d vs %d", a.dim, b.dim)
+	if err := CompatibleCS(a, b); err != nil {
+		return 0, err
 	}
 	ests := make([]float64, a.params.Reps)
 	for r := range ests {

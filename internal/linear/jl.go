@@ -93,13 +93,21 @@ func (s *JLSketch) Dim() uint64 { return s.dim }
 // StorageWords returns the sketch size in 64-bit words (one per row).
 func (s *JLSketch) StorageWords() float64 { return float64(s.params.M) }
 
-// EstimateJL returns ⟨S(a), S(b)⟩, the linear-sketch estimate of ⟨a, b⟩.
-func EstimateJL(a, b *JLSketch) (float64, error) {
+// CompatibleJL reports why two JL sketches cannot be compared, or nil.
+func CompatibleJL(a, b *JLSketch) error {
 	if a.params != b.params {
-		return 0, fmt.Errorf("linear: incompatible JL params %+v vs %+v", a.params, b.params)
+		return fmt.Errorf("linear: incompatible JL params %+v vs %+v", a.params, b.params)
 	}
 	if a.dim != b.dim {
-		return 0, fmt.Errorf("linear: JL dimension mismatch %d vs %d", a.dim, b.dim)
+		return fmt.Errorf("linear: JL dimension mismatch %d vs %d", a.dim, b.dim)
+	}
+	return nil
+}
+
+// EstimateJL returns ⟨S(a), S(b)⟩, the linear-sketch estimate of ⟨a, b⟩.
+func EstimateJL(a, b *JLSketch) (float64, error) {
+	if err := CompatibleJL(a, b); err != nil {
+		return 0, err
 	}
 	sum := 0.0
 	for r := range a.rows {

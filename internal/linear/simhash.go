@@ -95,13 +95,22 @@ func (s *SimHashSketch) StorageWords() float64 {
 	return float64(len(s.words)) + 1
 }
 
-// EstimateSimHash estimates ⟨a, b⟩ as ‖a‖‖b‖·cos(π·(1 − agreement)).
-func EstimateSimHash(a, b *SimHashSketch) (float64, error) {
+// CompatibleSimHash reports why two SimHash sketches cannot be compared,
+// or nil.
+func CompatibleSimHash(a, b *SimHashSketch) error {
 	if a.params != b.params {
-		return 0, fmt.Errorf("linear: incompatible SimHash params %+v vs %+v", a.params, b.params)
+		return fmt.Errorf("linear: incompatible SimHash params %+v vs %+v", a.params, b.params)
 	}
 	if a.dim != b.dim {
-		return 0, fmt.Errorf("linear: SimHash dimension mismatch %d vs %d", a.dim, b.dim)
+		return fmt.Errorf("linear: SimHash dimension mismatch %d vs %d", a.dim, b.dim)
+	}
+	return nil
+}
+
+// EstimateSimHash estimates ⟨a, b⟩ as ‖a‖‖b‖·cos(π·(1 − agreement)).
+func EstimateSimHash(a, b *SimHashSketch) (float64, error) {
+	if err := CompatibleSimHash(a, b); err != nil {
+		return 0, err
 	}
 	if a.empty || b.empty {
 		return 0, nil

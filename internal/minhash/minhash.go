@@ -207,6 +207,9 @@ func (s *Sketch) Signature() []uint64 {
 	return append([]uint64(nil), s.hashes...)
 }
 
+// Compatible reports why two sketches cannot be compared, or nil.
+func Compatible(a, b *Sketch) error { return compatible(a, b) }
+
 // compatible reports why two sketches cannot be compared, or nil.
 func compatible(a, b *Sketch) error {
 	if a.params != b.params {

@@ -1,0 +1,401 @@
+// Package psample implements the coordinated weighted sampling sketches of
+// the follow-up paper "Sampling Methods for Inner Product Sketching"
+// (Daliri, Freire, Musco, Santos; arXiv:2309.16157): priority sampling and
+// threshold sampling, which match or beat the WMH sketch of the source
+// paper at a fraction of the sketching cost.
+//
+// Both sketches share one uniform hash h : [n] → (0,1) derived from the
+// seed, so independently sketched vectors sample *coordinated* index sets —
+// the property that makes the intersection of two samples observable.
+//
+// # Threshold sampling
+//
+// Index j of vector a is stored iff h(j) < p_a(j) where
+//
+//	p_a(j) = min(1, k·a[j]²/‖a‖²)
+//
+// so the sample has expected size ≤ k, concentrated around it. An index is
+// in both samples iff h(j) < min(p_a(j), p_b(j)), which yields the unbiased
+// Horvitz–Thompson estimate
+//
+//	Σ_{j ∈ S_a∩S_b} a[j]·b[j] / min(p_a(j), p_b(j)).
+//
+// # Priority sampling
+//
+// Index j gets rank R(j) = h(j)/a[j]²; the sketch keeps the k smallest
+// ranks plus the threshold τ_a = (k+1)-st smallest rank (+Inf when the
+// support fits entirely). Conditioned on the thresholds, index j is in both
+// samples iff h(j) < min(a[j]²·τ_a, b[j]²·τ_b), giving the estimate
+//
+//	Σ_{j ∈ S_a∩S_b} a[j]·b[j] / min(1, a[j]²·τ_a, b[j]²·τ_b),
+//
+// unbiased by the Duffield–Lund–Thorup conditioning argument (Theorem 4.2
+// of the follow-up paper). Priority sampling's sample size is exactly
+// min(k, |A|); threshold sampling's is random but needs no threshold word.
+//
+// Both estimators carry error O(‖a_I‖‖b_I‖/√k) where I is the support
+// intersection — never worse than the source paper's WMH bound
+// max(‖a_I‖‖b‖, ‖a‖‖b_I‖), and smaller whenever either vector has mass
+// outside the intersection.
+//
+// Entries whose squared value underflows to zero carry zero sampling
+// weight and are never stored; their contribution to any inner product is
+// below 1e-162·‖b‖_∞ and is deliberately dropped rather than estimated
+// with unbounded variance.
+package psample
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+// Mode selects the sampling scheme.
+type Mode uint8
+
+const (
+	// Priority keeps the exactly-k smallest ranks plus a threshold.
+	Priority Mode = iota
+	// Threshold keeps every index passing its inclusion probability.
+	Threshold
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Priority:
+		return "priority"
+	case Threshold:
+		return "threshold"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Params configures sketch construction. Two sketches are comparable only
+// if built with identical Params.
+type Params struct {
+	// K is the sample size: exact for Priority, expected for Threshold.
+	K int
+	// Seed derives the shared index hash.
+	Seed uint64
+	// Mode selects priority or threshold sampling.
+	Mode Mode
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.K <= 0 {
+		return errors.New("psample: sample size K must be positive")
+	}
+	if p.Mode != Priority && p.Mode != Threshold {
+		return fmt.Errorf("psample: unknown mode %d", int(p.Mode))
+	}
+	return nil
+}
+
+// Sketch holds the coordinated sample: stored indices (ascending) with the
+// vector values at those indices, the squared norm (threshold sampling
+// recomputes inclusion probabilities from it), and the rank threshold τ
+// (priority sampling only; +Inf when the whole support was retained).
+type Sketch struct {
+	params Params
+	dim    uint64
+	nnz    int
+	normSq float64
+	tau    float64
+	idx    []uint64
+	vals   []float64
+}
+
+// New sketches the vector v.
+func New(v vector.Sparse, p Params) (*Sketch, error) {
+	b, err := NewBuilder(p)
+	if err != nil {
+		return nil, err
+	}
+	return b.Sketch(v)
+}
+
+// rankEntry is one candidate in the priority-sampling bounded heap.
+type rankEntry struct {
+	rank float64
+	idx  uint64
+	val  float64
+}
+
+// Builder sketches many vectors under one fixed Params, reusing the
+// bounded-heap scratch across vectors; with SketchInto the steady-state
+// sketch loop is allocation-free. A Builder is single-goroutine; run one
+// per worker to use every core. Its sketches are identical to New's.
+type Builder struct {
+	p    Params
+	key  uint64      // index-hash chain prefix, fixed for the lifetime
+	heap []rankEntry // priority scratch: max-heap of the k+1 smallest ranks
+}
+
+// NewBuilder validates p and returns a reusable sketch builder.
+func NewBuilder(p Params) (*Builder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Absorb the fixed words into a chain prefix so the per-index hash is
+	// one Extend step. Both modes share the hash stream: it depends only on
+	// (seed, index), never on the mode or the weights.
+	return &Builder{p: p, key: hashing.Mix(hashing.Mix(p.Seed, 0x7073616d /* "psam" */))}, nil
+}
+
+// Params returns the builder's construction parameters.
+func (b *Builder) Params() Params { return b.p }
+
+// Sketch sketches v into a fresh Sketch.
+func (b *Builder) Sketch(v vector.Sparse) (*Sketch, error) {
+	s := new(Sketch)
+	if err := b.SketchInto(s, v); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SketchInto sketches v into dst, reusing dst's retained arrays when they
+// have capacity; repeated calls with the same dst allocate nothing.
+func (b *Builder) SketchInto(dst *Sketch, v vector.Sparse) error {
+	if dst == nil {
+		return errors.New("psample: nil destination sketch")
+	}
+	idx, vals := dst.idx[:0], dst.vals[:0]
+	*dst = Sketch{
+		params: b.p, dim: v.Dim(), nnz: v.NNZ(),
+		normSq: v.SquaredNorm(), tau: math.Inf(1),
+	}
+	if math.IsInf(dst.normSq, 1) {
+		// Entries near 1e154 square past the float64 range; threshold
+		// probabilities would all collapse to zero and priority ranks to
+		// zero — silent garbage. Refuse loudly instead (no other sketch in
+		// the module stores squared magnitudes this large either).
+		return errors.New("psample: vector squared norm overflows float64")
+	}
+	if b.p.Mode == Threshold {
+		dst.idx, dst.vals = b.thresholdSample(idx, vals, v, dst.normSq)
+		return nil
+	}
+	dst.idx, dst.vals, dst.tau = b.prioritySample(idx, vals, v)
+	return nil
+}
+
+// unitHash maps a support index to the shared uniform (0,1) hash.
+func (b *Builder) unitHash(idx uint64) float64 {
+	return hashing.UnitFromBits(hashing.Extend(b.key, idx))
+}
+
+// thresholdSample walks the support once, keeping index j iff
+// h(j) < min(1, K·w_j/‖v‖²). The support is sorted, so the sample is too.
+// normSq is the caller's already-computed v.SquaredNorm().
+func (b *Builder) thresholdSample(idx []uint64, vals []float64, v vector.Sparse, normSq float64) ([]uint64, []float64) {
+	kOverNormSq := float64(b.p.K) / normSq
+	nnz := v.NNZ()
+	for e := 0; e < nnz; e++ {
+		j, val := v.Entry(e)
+		p := (val * val) * kOverNormSq // min(1, ·) is implicit: h < 1 always
+		if b.unitHash(j) < p {
+			idx = append(idx, j)
+			vals = append(vals, val)
+		}
+	}
+	return idx, vals
+}
+
+// prioritySample keeps the k+1 smallest ranks h(j)/w_j in a bounded
+// max-heap, returns the k smallest sorted by index, and the (k+1)-st rank
+// as τ (+Inf when the support has at most k usable entries).
+func (b *Builder) prioritySample(idx []uint64, vals []float64, v vector.Sparse) ([]uint64, []float64, float64) {
+	k := b.p.K
+	h := b.heap[:0]
+	if cap(h) < k+1 {
+		// Full capacity up front: sizing to the current support would
+		// reallocate on every vector larger than all previous ones.
+		h = make([]rankEntry, 0, k+1)
+	}
+	nnz := v.NNZ()
+	for e := 0; e < nnz; e++ {
+		j, val := v.Entry(e)
+		w := val * val
+		if w == 0 {
+			continue // underflowed weight: zero inclusion probability
+		}
+		rank := b.unitHash(j) / w
+		if len(h) <= k {
+			h = append(h, rankEntry{rank: rank, idx: j, val: val})
+			siftUp(h, len(h)-1)
+		} else if rank < h[0].rank {
+			h[0] = rankEntry{rank: rank, idx: j, val: val}
+			siftDown(h, 0)
+		}
+	}
+	b.heap = h
+
+	tau := math.Inf(1)
+	n := len(h)
+	if n > k {
+		// The heap root is the (k+1)-st smallest rank: the threshold.
+		tau = h[0].rank
+		h[0] = h[n-1]
+		n--
+		siftDown(h[:n], 0)
+	}
+	// The retained k entries are stored sorted by index for merge joins.
+	sortByIndex(h[:n])
+	for _, e := range h[:n] {
+		idx = append(idx, e.idx)
+		vals = append(vals, e.val)
+	}
+	return idx, vals, tau
+}
+
+// siftUp restores the max-heap-by-rank property after appending at i.
+func siftUp(h []rankEntry, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].rank >= h[i].rank {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap-by-rank property after replacing i.
+func siftDown(h []rankEntry, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && h[r].rank > h[l].rank {
+			big = r
+		}
+		if h[i].rank >= h[big].rank {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// sortByIndex sorts the retained entries ascending by index (insertion
+// sort on the small in-place slice keeps the warm path allocation-free;
+// sort.Slice would allocate its closure).
+func sortByIndex(h []rankEntry) {
+	for i := 1; i < len(h); i++ {
+		e := h[i]
+		j := i - 1
+		for j >= 0 && h[j].idx > e.idx {
+			h[j+1] = h[j]
+			j--
+		}
+		h[j+1] = e
+	}
+}
+
+// Params returns the construction parameters.
+func (s *Sketch) Params() Params { return s.params }
+
+// Dim returns the dimension of the sketched vector.
+func (s *Sketch) Dim() uint64 { return s.dim }
+
+// Len returns the number of stored samples.
+func (s *Sketch) Len() int { return len(s.idx) }
+
+// IsEmpty reports whether the sketch stored no samples.
+func (s *Sketch) IsEmpty() bool { return len(s.idx) == 0 }
+
+// SawAll reports whether every usable support entry was retained, in which
+// case estimates against another SawAll sketch are exact sums.
+func (s *Sketch) SawAll() bool {
+	if s.params.Mode == Priority {
+		return math.IsInf(s.tau, 1)
+	}
+	return false
+}
+
+// StorageWords returns the sketch size in 64-bit words under the paper's
+// accounting: 1.5 words per budgeted sample (a 32-bit index hash plus a
+// 64-bit value) plus one word for the norm (threshold) or threshold rank
+// (priority). Like the other sampling sketches, the budgeted capacity K is
+// charged even when fewer samples are present.
+func (s *Sketch) StorageWords() float64 { return 1.5*float64(s.params.K) + 1 }
+
+// compatible reports why two sketches cannot be compared, or nil.
+func compatible(a, b *Sketch) error {
+	if a.params != b.params {
+		return fmt.Errorf("psample: incompatible params %+v vs %+v", a.params, b.params)
+	}
+	if a.dim != b.dim {
+		return fmt.Errorf("psample: dimension mismatch %d vs %d", a.dim, b.dim)
+	}
+	return nil
+}
+
+// Compatible reports why two sketches cannot be compared, or nil.
+func Compatible(a, b *Sketch) error { return compatible(a, b) }
+
+// inclusionProb returns the probability that stored index j (with value
+// val) entered sketch s, conditioned on s's threshold.
+func (s *Sketch) inclusionProb(val float64) float64 {
+	w := val * val
+	if s.params.Mode == Threshold {
+		// Same expression shape as thresholdSample, so the probability the
+		// estimator divides by is bit-identical to the one construction
+		// compared the hash against.
+		p := w * (float64(s.params.K) / s.normSq)
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	if math.IsInf(s.tau, 1) {
+		return 1 // whole support retained
+	}
+	p := w * s.tau
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Estimate returns the Horvitz–Thompson inner-product estimate ⟨a, b⟩:
+// each index stored in both sketches contributes its value product divided
+// by the probability that the shared hash admitted it to both samples.
+func Estimate(a, b *Sketch) (float64, error) {
+	if err := compatible(a, b); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	i, j := 0, 0
+	for i < len(a.idx) && j < len(b.idx) {
+		switch {
+		case a.idx[i] < b.idx[j]:
+			i++
+		case a.idx[i] > b.idx[j]:
+			j++
+		default:
+			pa := a.inclusionProb(a.vals[i])
+			pb := b.inclusionProb(b.vals[j])
+			p := pa
+			if pb < p {
+				p = pb
+			}
+			if p > 0 {
+				sum += a.vals[i] * b.vals[j] / p
+			}
+			i++
+			j++
+		}
+	}
+	return sum, nil
+}

@@ -316,6 +316,10 @@ func (s *Sketch) Signature() []uint64 {
 	return out
 }
 
+// Compatible reports why two sketches cannot be compared (parameter,
+// seed, resolved-L, or construction-variant mismatch), or nil.
+func Compatible(a, b *Sketch) error { return compatible(a, b) }
+
 // compatible reports why two sketches cannot be compared, or nil.
 func compatible(a, b *Sketch) error {
 	if a.params != b.params {

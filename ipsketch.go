@@ -4,7 +4,9 @@
 // Beats Linear Sketching for Inner Product Estimation" (Bessa, Daliri,
 // Freire, Musco, Musco, Santos, Zhang; arXiv:2301.05811): the paper's
 // Weighted MinHash sketch (Algorithms 3–5) plus every baseline from its
-// experimental evaluation, behind one interface.
+// experimental evaluation, plus the priority/threshold sampling sketches
+// of the follow-up "Sampling Methods for Inner Product Sketching"
+// (arXiv:2309.16157), behind one interface.
 //
 // # Quick start
 //
@@ -15,8 +17,9 @@
 //	est, _ := ipsketch.Estimate(sa, sb) // ≈ ⟨a, b⟩
 //
 // Sketches are comparable only when produced by sketchers with identical
-// configurations (method, size, seed). They can be computed on different
-// machines at different times: all randomness is derived from the seed.
+// configurations (method, size, seed, variant flags); Estimate rejects
+// incompatible pairs. They can be computed on different machines at
+// different times: all randomness is derived from the seed.
 //
 // # Methods and guarantees
 //
@@ -26,10 +29,13 @@
 //	MethodJL, MethodCountSketch:  ε‖a‖‖b‖              (Fact 1)
 //	MethodMH (binary vectors):    ε√(max(|A|,|B|)·|A∩B|) (Theorem 4)
 //	MethodWMH (any vectors):      ε·max(‖a_I‖‖b‖, ‖a‖‖b_I‖) (Theorem 2)
+//	MethodPS, MethodTS:           ε·‖a_I‖‖b_I‖ (follow-up paper, Thm 1.1/4.1)
 //
 // where I is the intersection of the supports. The WMH bound is never
 // worse than the linear-sketching bound and is far smaller for sparse
-// vectors with limited overlap — the common case in dataset search.
+// vectors with limited overlap — the common case in dataset search; the
+// priority/threshold sampling bound is smaller still whenever either
+// vector has mass outside the intersection.
 //
 // # Storage accounting
 //
@@ -37,16 +43,22 @@
 // paper's accounting so methods are compared fairly at equal storage:
 // linear sketches spend one word per coordinate; sampling sketches spend
 // 1.5 words per sample (a 32-bit hash plus a 64-bit value).
+//
+// # Architecture
+//
+// Every method is a backend registered behind one internal interface
+// (backend.go); construction, estimation, batching, serialization, and
+// similarity all dispatch through the registry, and optional estimator
+// surfaces (join size, Jaccard, cardinalities, error bounds) are
+// capability interfaces a backend opts into. Adding a method is one
+// internal package plus one backend file — see DESIGN.md §2.
 package ipsketch
 
 import (
 	"errors"
 	"fmt"
 
-	"repro/internal/cws"
-	"repro/internal/kmv"
 	"repro/internal/linear"
-	"repro/internal/minhash"
 	"repro/internal/vector"
 	"repro/internal/wmh"
 )
@@ -84,7 +96,8 @@ func WMHBound(a, b Vector) float64 { return vector.WMHBound(a, b) }
 type Method int
 
 // Available methods. The first five are the paper's experimental lineup;
-// MethodICWS and MethodSimHash are extensions (see DESIGN.md).
+// MethodICWS and MethodSimHash are extensions, and MethodPS / MethodTS are
+// the follow-up paper's sampling sketches (see DESIGN.md §2).
 const (
 	// MethodWMH is the paper's Weighted MinHash sketch (Algorithms 3–5).
 	MethodWMH Method = iota
@@ -101,29 +114,22 @@ const (
 	MethodICWS
 	// MethodSimHash is the 1-bit quantized random projection.
 	MethodSimHash
+	// MethodPS is coordinated priority sampling: the k smallest ranks
+	// h(j)/a[j]² plus their threshold (follow-up paper, Algorithm 2).
+	MethodPS
+	// MethodTS is coordinated threshold sampling: every index whose shared
+	// hash clears its inclusion probability min(1, k·a[j]²/‖a‖²)
+	// (follow-up paper, Algorithm 1).
+	MethodTS
 	numMethods
 )
 
-// String names the method as in the paper's plots.
+// String names the method as in the papers' plots.
 func (m Method) String() string {
-	switch m {
-	case MethodWMH:
-		return "WMH"
-	case MethodMH:
-		return "MH"
-	case MethodKMV:
-		return "KMV"
-	case MethodJL:
-		return "JL"
-	case MethodCountSketch:
-		return "CS"
-	case MethodICWS:
-		return "ICWS"
-	case MethodSimHash:
-		return "SimHash"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
+	if be, err := backendFor(m); err == nil {
+		return be.name()
 	}
+	return fmt.Sprintf("Method(%d)", int(m))
 }
 
 // Methods returns every available method.
@@ -161,14 +167,16 @@ type Config struct {
 	// that support it (currently WMH), lowering the per-sample cost from
 	// 1.5 words to 1 — i.e. 50% more samples in the same budget at a
 	// negligible (~1e-7 relative) precision cost. The paper's storage
-	// discussion names this as the natural next optimization.
+	// discussion names this as the natural next optimization. Validate
+	// rejects the flag for methods without the capability.
 	Quantize bool
 	// FastHash selects the polynomial-logarithm record process for
 	// methods that support it (currently WMH): measurably faster sketch
 	// construction at a ~1e-8 relative perturbation of the sampling
 	// distribution, far below sampling noise (see DESIGN.md). Sketches
 	// built with and without FastHash use different randomness and are
-	// not comparable with each other.
+	// not comparable with each other. Validate rejects the flag for
+	// methods without the capability.
 	FastHash bool
 }
 
@@ -193,68 +201,33 @@ func (c Config) wmhParams(samples int) wmh.Params {
 
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
-	if c.Method < 0 || c.Method >= numMethods {
-		return fmt.Errorf("ipsketch: unknown method %d", int(c.Method))
+	be, err := backendFor(c.Method)
+	if err != nil {
+		return err
 	}
 	if c.StorageWords <= 0 {
 		return errors.New("ipsketch: storage budget must be positive")
 	}
-	if _, err := c.samples(); err != nil {
+	if c.Quantize {
+		if _, ok := be.(quantizable); !ok {
+			return fmt.Errorf("ipsketch: %v does not support Quantize", c.Method)
+		}
+	}
+	if c.FastHash {
+		if _, ok := be.(fastHashable); !ok {
+			return fmt.Errorf("ipsketch: %v does not support FastHash", c.Method)
+		}
+	}
+	if _, err := be.size(c); err != nil {
 		return err
 	}
 	return nil
 }
 
-// samples derives the method-specific size parameter from the storage
-// budget.
-func (c Config) samples() (int, error) {
-	switch c.Method {
-	case MethodWMH, MethodMH, MethodKMV:
-		// 1.5 words per sample (WMH additionally stores the norm word,
-		// which we charge against the budget; with Quantize its values
-		// shrink to 32 bits, i.e. 1 word per sample).
-		n := c.StorageWords
-		perSample := 1.5
-		if c.Method == MethodWMH {
-			n--
-			if c.Quantize {
-				perSample = 1.0
-			}
-		}
-		s := int(float64(n) / perSample)
-		if s < 1 {
-			return 0, fmt.Errorf("ipsketch: budget %d too small for %v", c.StorageWords, c.Method)
-		}
-		return s, nil
-	case MethodICWS:
-		s := int(float64(c.StorageWords-1) / 2.5)
-		if s < 1 {
-			return 0, fmt.Errorf("ipsketch: budget %d too small for ICWS", c.StorageWords)
-		}
-		return s, nil
-	case MethodJL:
-		return c.StorageWords, nil
-	case MethodCountSketch:
-		reps := c.countSketchReps()
-		b := c.StorageWords / reps
-		if b < 1 {
-			return 0, fmt.Errorf("ipsketch: budget %d too small for CountSketch with %d reps", c.StorageWords, reps)
-		}
-		return b, nil
-	case MethodSimHash:
-		bits := (c.StorageWords - 1) * 64
-		if bits < 1 {
-			return 0, fmt.Errorf("ipsketch: budget %d too small for SimHash", c.StorageWords)
-		}
-		return bits, nil
-	default:
-		return 0, fmt.Errorf("ipsketch: unknown method %d", int(c.Method))
-	}
-}
-
 // Sketcher produces sketches under a fixed configuration.
 type Sketcher struct {
 	cfg  Config
+	be   backend
 	size int // method-specific size derived from the budget
 }
 
@@ -263,11 +236,15 @@ func NewSketcher(cfg Config) (*Sketcher, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	size, err := cfg.samples()
+	be, err := backendFor(cfg.Method)
 	if err != nil {
 		return nil, err
 	}
-	return &Sketcher{cfg: cfg, size: size}, nil
+	size, err := be.size(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketcher{cfg: cfg, be: be, size: size}, nil
 }
 
 // Config returns the sketcher's configuration.
@@ -278,44 +255,20 @@ func (s *Sketcher) Config() Config { return s.cfg }
 // bits for SimHash.
 func (s *Sketcher) Size() int { return s.size }
 
-// Sketch is a compact summary of one vector, produced by a Sketcher.
+// Sketch is a compact summary of one vector, produced by a Sketcher: the
+// method tag plus that method's backend payload.
 type Sketch struct {
-	method Method
-	wmh    *wmh.Sketch
-	mh     *minhash.Sketch
-	kmv    *kmv.Sketch
-	jl     *linear.JLSketch
-	cs     *linear.CSSketch
-	cws    *cws.Sketch
-	sim    *linear.SimHashSketch
+	method  Method
+	payload payload
 }
 
 // Sketch summarizes the vector v.
 func (s *Sketcher) Sketch(v Vector) (*Sketch, error) {
-	out := &Sketch{method: s.cfg.Method}
-	var err error
-	switch s.cfg.Method {
-	case MethodWMH:
-		out.wmh, err = wmh.New(v, s.cfg.wmhParams(s.size))
-	case MethodMH:
-		out.mh, err = minhash.New(v, minhash.Params{M: s.size, Seed: s.cfg.Seed})
-	case MethodKMV:
-		out.kmv, err = kmv.New(v, kmv.Params{K: s.size, Seed: s.cfg.Seed})
-	case MethodJL:
-		out.jl, err = linear.NewJL(v, linear.JLParams{M: s.size, Seed: s.cfg.Seed})
-	case MethodCountSketch:
-		out.cs, err = linear.NewCountSketch(v, linear.CSParams{Buckets: s.size, Reps: s.cfg.countSketchReps(), Seed: s.cfg.Seed})
-	case MethodICWS:
-		out.cws, err = cws.New(v, cws.Params{M: s.size, Seed: s.cfg.Seed})
-	case MethodSimHash:
-		out.sim, err = linear.NewSimHash(v, linear.SimHashParams{Bits: s.size, Seed: s.cfg.Seed})
-	default:
-		err = fmt.Errorf("ipsketch: unknown method %d", int(s.cfg.Method))
-	}
+	p, err := s.be.sketch(s.cfg, s.size, v)
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return &Sketch{method: s.cfg.Method, payload: p}, nil
 }
 
 // Method returns the algorithm that produced the sketch.
@@ -324,87 +277,64 @@ func (sk *Sketch) Method() Method { return sk.method }
 // StorageWords returns the sketch's size in 64-bit words under the paper's
 // accounting.
 func (sk *Sketch) StorageWords() float64 {
-	switch sk.method {
-	case MethodWMH:
-		return sk.wmh.StorageWords()
-	case MethodMH:
-		return sk.mh.StorageWords()
-	case MethodKMV:
-		return sk.kmv.StorageWords()
-	case MethodJL:
-		return sk.jl.StorageWords()
-	case MethodCountSketch:
-		return sk.cs.StorageWords()
-	case MethodICWS:
-		return sk.cws.StorageWords()
-	case MethodSimHash:
-		return sk.sim.StorageWords()
-	default:
+	if sk.payload == nil {
 		return 0
 	}
+	return sk.payload.StorageWords()
 }
 
 // Estimate returns the inner-product estimate from two sketches of the
 // same configuration. It fails when the sketches were produced by
-// different methods or incompatible parameters.
+// different methods or incompatible parameters (size, seed, or variant
+// mismatches never return silent garbage).
 func Estimate(a, b *Sketch) (float64, error) {
-	if a == nil || b == nil {
-		return 0, errors.New("ipsketch: nil sketch")
+	be, err := pairBackend(a, b)
+	if err != nil {
+		return 0, err
 	}
-	if a.method != b.method {
-		return 0, fmt.Errorf("ipsketch: method mismatch %v vs %v", a.method, b.method)
+	if err := be.compatible(a.payload, b.payload); err != nil {
+		return 0, err
 	}
-	switch a.method {
-	case MethodWMH:
-		return wmh.Estimate(a.wmh, b.wmh)
-	case MethodMH:
-		return minhash.Estimate(a.mh, b.mh)
-	case MethodKMV:
-		return kmv.Estimate(a.kmv, b.kmv)
-	case MethodJL:
-		return linear.EstimateJL(a.jl, b.jl)
-	case MethodCountSketch:
-		return linear.EstimateCountSketch(a.cs, b.cs)
-	case MethodICWS:
-		return cws.Estimate(a.cws, b.cws)
-	case MethodSimHash:
-		return linear.EstimateSimHash(a.sim, b.sim)
-	default:
-		return 0, fmt.Errorf("ipsketch: unknown method %d", int(a.method))
-	}
+	return be.estimate(a.payload, b.payload)
 }
 
 // EstimateJoinSize estimates |A∩B| for key-indicator vectors (binary
 // vectors whose 1-entries are join keys): it is Estimate specialized to
-// the dataset-search join-size reduction of §1.2.
+// the dataset-search join-size reduction of §1.2. Backends with a
+// dedicated join-size estimator (KMV's threshold estimator, which ignores
+// values) are used when available.
 func EstimateJoinSize(a, b *Sketch) (float64, error) {
-	if a != nil && b != nil && a.method == MethodKMV && b.method == MethodKMV {
-		// KMV has a dedicated join-size estimator that ignores values.
-		return kmv.JoinSizeEstimate(a.kmv, b.kmv)
+	be, err := pairBackend(a, b)
+	if err != nil {
+		return 0, err
 	}
-	return Estimate(a, b)
+	jse, ok := be.(joinSizeEstimator)
+	if !ok {
+		return Estimate(a, b)
+	}
+	if err := be.compatible(a.payload, b.payload); err != nil {
+		return 0, err
+	}
+	return jse.estimateJoinSize(a.payload, b.payload)
 }
 
 // EstimateWithBound returns the inner-product estimate together with a
 // data-driven error scale: errScale estimates the Theorem 2 magnitude
 // max(‖a_I‖‖b‖, ‖a‖‖b_I‖)/√m, so |estimate − ⟨a,b⟩| is O(errScale) with
 // constant probability (use MedianSketcher to drive the failure
-// probability down). Only MethodWMH sketches carry enough information to
-// estimate their own bound.
+// probability down). Only backends that can estimate their own bound
+// (currently MethodWMH) support this.
 func EstimateWithBound(a, b *Sketch) (estimate, errScale float64, err error) {
-	if a == nil || b == nil {
-		return 0, 0, errors.New("ipsketch: nil sketch")
-	}
-	if a.method != MethodWMH || b.method != MethodWMH {
-		return 0, 0, fmt.Errorf("ipsketch: EstimateWithBound requires WMH sketches, got %v/%v", a.method, b.method)
-	}
-	estimate, err = wmh.Estimate(a.wmh, b.wmh)
+	be, err := pairBackend(a, b)
 	if err != nil {
 		return 0, 0, err
 	}
-	bound, err := wmh.EstimateErrorBound(a.wmh, b.wmh)
-	if err != nil {
+	eb, ok := be.(errorBounder)
+	if !ok {
+		return 0, 0, fmt.Errorf("ipsketch: EstimateWithBound requires a self-bounding method (e.g. WMH), got %v", a.method)
+	}
+	if err := be.compatible(a.payload, b.payload); err != nil {
 		return 0, 0, err
 	}
-	return estimate, bound.PerSqrtM, nil
+	return eb.estimateWithBound(a.payload, b.payload)
 }

@@ -21,6 +21,7 @@ func TestMethodStrings(t *testing.T) {
 		MethodWMH: "WMH", MethodMH: "MH", MethodKMV: "KMV",
 		MethodJL: "JL", MethodCountSketch: "CS",
 		MethodICWS: "ICWS", MethodSimHash: "SimHash",
+		MethodPS: "PS", MethodTS: "TS",
 	}
 	for m, s := range want {
 		if m.String() != s {
@@ -222,7 +223,7 @@ func TestEstimateJoinSizeBinaryVectors(t *testing.T) {
 		t.Fatal(err)
 	}
 	truth := Dot(a, b) // 400
-	for _, m := range []Method{MethodWMH, MethodMH, MethodKMV, MethodJL} {
+	for _, m := range []Method{MethodWMH, MethodMH, MethodKMV, MethodJL, MethodPS, MethodTS} {
 		s, err := NewSketcher(Config{Method: m, StorageWords: 1500, Seed: 5})
 		if err != nil {
 			t.Fatal(err)

@@ -16,6 +16,10 @@ import (
 // the Theorem 2 error bound with probability ≥ 2/3, so by a Chernoff
 // bound the median is within the bound with probability ≥ 1 − δ for
 // t = O(log(1/δ)).
+//
+// Boosting is method-agnostic: each repetition dispatches through the
+// backend registry via Estimate, so every registered method — including
+// ones added after this file was written — boosts the same way.
 type MedianSketcher struct {
 	sketchers []*Sketcher
 }

@@ -4,18 +4,17 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/cws"
-	"repro/internal/kmv"
-	"repro/internal/linear"
-	"repro/internal/minhash"
 	"repro/internal/wire"
-	"repro/internal/wmh"
 )
 
 // Sketches serialize to a versioned binary envelope so they can be stored
 // in a catalog or shipped between machines:
 //
 //	magic "IPSK" | format version | method byte | method payload
+//
+// The method byte selects the backend whose unmarshal decodes the payload;
+// per-method payload formats are frozen (testdata/golden pins them), so a
+// new method is a new byte value, never a change to an existing layout.
 //
 // A sketch decoded with UnmarshalSketch is fully usable: Estimate works
 // against freshly computed sketches of the same configuration.
@@ -29,32 +28,15 @@ const serializedVersion = 1
 // ErrBadEnvelope is returned when the magic or version does not match.
 var ErrBadEnvelope = errors.New("ipsketch: not a serialized sketch (bad magic/version)")
 
-type binaryMarshaler interface {
-	MarshalBinary() ([]byte, error)
-}
-
 // MarshalBinary encodes the sketch into the versioned envelope.
 func (sk *Sketch) MarshalBinary() ([]byte, error) {
-	var inner binaryMarshaler
-	switch sk.method {
-	case MethodWMH:
-		inner = sk.wmh
-	case MethodMH:
-		inner = sk.mh
-	case MethodKMV:
-		inner = sk.kmv
-	case MethodJL:
-		inner = sk.jl
-	case MethodCountSketch:
-		inner = sk.cs
-	case MethodICWS:
-		inner = sk.cws
-	case MethodSimHash:
-		inner = sk.sim
-	default:
-		return nil, fmt.Errorf("ipsketch: cannot marshal unknown method %d", int(sk.method))
+	// Every constructor (Sketcher.Sketch, batch workers, UnmarshalSketch)
+	// resolves a registered backend before attaching a payload, so a
+	// non-nil payload implies a valid method.
+	if sk.payload == nil {
+		return nil, fmt.Errorf("ipsketch: cannot marshal empty sketch of method %d", int(sk.method))
 	}
-	payload, err := inner.MarshalBinary()
+	p, err := sk.payload.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +47,7 @@ func (sk *Sketch) MarshalBinary() ([]byte, error) {
 	w.Byte(serializedMagic[3])
 	w.Byte(serializedVersion)
 	w.Byte(byte(sk.method))
-	out := append(w.Bytes(), payload...)
+	out := append(w.Bytes(), p...)
 	return out, nil
 }
 
@@ -83,36 +65,13 @@ func UnmarshalSketch(data []byte) (*Sketch, error) {
 		return nil, fmt.Errorf("%w: version %d", ErrBadEnvelope, data[4])
 	}
 	method := Method(data[5])
-	payload := data[6:]
-	sk := &Sketch{method: method}
-	var err error
-	switch method {
-	case MethodWMH:
-		sk.wmh = new(wmh.Sketch)
-		err = sk.wmh.UnmarshalBinary(payload)
-	case MethodMH:
-		sk.mh = new(minhash.Sketch)
-		err = sk.mh.UnmarshalBinary(payload)
-	case MethodKMV:
-		sk.kmv = new(kmv.Sketch)
-		err = sk.kmv.UnmarshalBinary(payload)
-	case MethodJL:
-		sk.jl = new(linear.JLSketch)
-		err = sk.jl.UnmarshalBinary(payload)
-	case MethodCountSketch:
-		sk.cs = new(linear.CSSketch)
-		err = sk.cs.UnmarshalBinary(payload)
-	case MethodICWS:
-		sk.cws = new(cws.Sketch)
-		err = sk.cws.UnmarshalBinary(payload)
-	case MethodSimHash:
-		sk.sim = new(linear.SimHashSketch)
-		err = sk.sim.UnmarshalBinary(payload)
-	default:
+	be, err := backendFor(method)
+	if err != nil {
 		return nil, fmt.Errorf("ipsketch: unknown method byte %d", data[5])
 	}
+	p, err := be.unmarshal(data[6:])
 	if err != nil {
 		return nil, err
 	}
-	return sk, nil
+	return &Sketch{method: method, payload: p}, nil
 }

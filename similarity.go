@@ -1,18 +1,14 @@
 package ipsketch
 
-import (
-	"errors"
-	"fmt"
-
-	"repro/internal/cws"
-	"repro/internal/kmv"
-	"repro/internal/minhash"
-	"repro/internal/wmh"
-)
+import "fmt"
 
 // Beyond inner products, the hash-based sketches natively estimate set
 // similarities and cardinalities — the primitives of joinability search
 // (paper §1.2: "discover tables that are joinable with the target table").
+// Which methods support which estimator is a backend capability
+// (similarityEstimator, cardinalityEstimator in backend.go): a method
+// advertising the capability works here automatically, every other method
+// gets a uniform "cannot estimate" error.
 
 // EstimateJaccard estimates a similarity between the sketched vectors:
 //
@@ -23,39 +19,18 @@ import (
 //
 // Other methods cannot estimate similarities and return an error.
 func EstimateJaccard(a, b *Sketch) (float64, error) {
-	if a == nil || b == nil {
-		return 0, errors.New("ipsketch: nil sketch")
+	be, err := pairBackend(a, b)
+	if err != nil {
+		return 0, err
 	}
-	if a.method != b.method {
-		return 0, fmt.Errorf("ipsketch: method mismatch %v vs %v", a.method, b.method)
-	}
-	switch a.method {
-	case MethodMH:
-		return minhash.JaccardEstimate(a.mh, b.mh)
-	case MethodKMV:
-		inter, err := kmv.JoinSizeEstimate(a.kmv, b.kmv)
-		if err != nil {
-			return 0, err
-		}
-		union, err := kmv.UnionEstimate(a.kmv, b.kmv)
-		if err != nil {
-			return 0, err
-		}
-		if union <= 0 {
-			return 0, nil
-		}
-		j := inter / union
-		if j > 1 {
-			j = 1
-		}
-		return j, nil
-	case MethodWMH:
-		return wmh.WeightedJaccardEstimate(a.wmh, b.wmh)
-	case MethodICWS:
-		return cws.WeightedJaccardEstimate(a.cws, b.cws)
-	default:
+	se, ok := be.(similarityEstimator)
+	if !ok {
 		return 0, fmt.Errorf("ipsketch: %v sketches cannot estimate Jaccard similarity", a.method)
 	}
+	if err := be.compatible(a.payload, b.payload); err != nil {
+		return 0, err
+	}
+	return se.estimateJaccard(a.payload, b.payload)
 }
 
 // EstimateSupportSize estimates the number of non-zero entries of the
@@ -63,33 +38,32 @@ func EstimateJaccard(a, b *Sketch) (float64, error) {
 // Supported by MethodMH and MethodKMV.
 func EstimateSupportSize(sk *Sketch) (float64, error) {
 	if sk == nil {
-		return 0, errors.New("ipsketch: nil sketch")
+		return 0, errNilSketch
 	}
-	switch sk.method {
-	case MethodMH:
-		return sk.mh.DistinctEstimate(), nil
-	case MethodKMV:
-		return sk.kmv.DistinctEstimate(), nil
-	default:
+	be, err := backendFor(sk.method)
+	if err != nil {
+		return 0, err
+	}
+	ce, ok := be.(cardinalityEstimator)
+	if !ok {
 		return 0, fmt.Errorf("ipsketch: %v sketches cannot estimate support size", sk.method)
 	}
+	return ce.estimateSupportSize(sk.payload)
 }
 
 // EstimateUnionSize estimates |A∪B| of the two sketched supports.
 // Supported by MethodMH and MethodKMV.
 func EstimateUnionSize(a, b *Sketch) (float64, error) {
-	if a == nil || b == nil {
-		return 0, errors.New("ipsketch: nil sketch")
+	be, err := pairBackend(a, b)
+	if err != nil {
+		return 0, err
 	}
-	if a.method != b.method {
-		return 0, fmt.Errorf("ipsketch: method mismatch %v vs %v", a.method, b.method)
-	}
-	switch a.method {
-	case MethodMH:
-		return minhash.UnionEstimate(a.mh, b.mh)
-	case MethodKMV:
-		return kmv.UnionEstimate(a.kmv, b.kmv)
-	default:
+	ce, ok := be.(cardinalityEstimator)
+	if !ok {
 		return 0, fmt.Errorf("ipsketch: %v sketches cannot estimate union size", a.method)
 	}
+	if err := be.compatible(a.payload, b.payload); err != nil {
+		return 0, err
+	}
+	return ce.estimateUnionSize(a.payload, b.payload)
 }
