@@ -3,13 +3,15 @@
 // perf trajectory: each PR that touches a hot path records before/after
 // numbers in a new report, so regressions are a diff away.
 //
-//	go run ./cmd/benchreport -o BENCH_2.json
+//	go run ./cmd/benchreport -o BENCH_3.json
 //	go run ./cmd/benchreport -bench 'BenchmarkSearch' -benchtime 2s -count 3
 //
 // The default benchmark set covers the sketching engine's hot paths:
 // per-method sketch construction and estimation (every registered method,
 // including the priority/threshold sampling backends), batch sketching,
-// and top-k index search. Figure-regeneration benchmarks are excluded (they measure
+// top-k index search, and the serving layer (catalog ingest at one and
+// all cores, end-to-end HTTP /search and ingest latency).
+// Figure-regeneration benchmarks are excluded (they measure
 // reproduction accuracy, not throughput; run them with plain `go test
 // -bench`).
 package main
@@ -28,9 +30,13 @@ import (
 	"time"
 )
 
-// defaultBench selects the engine micro-benchmarks.
+// defaultBench selects the engine and serving-layer micro-benchmarks.
 const defaultBench = "BenchmarkSketch_|BenchmarkEstimate_|BenchmarkSketchWMH_|" +
-	"BenchmarkSketchMH_Batch|BenchmarkSketchICWS_Batch|BenchmarkEstimateMany_|BenchmarkSearch"
+	"BenchmarkSketchMH_Batch|BenchmarkSketchICWS_Batch|BenchmarkEstimateMany_|BenchmarkSearch|" +
+	"BenchmarkCatalog|BenchmarkService"
+
+// defaultPkgs are the packages holding those benchmarks.
+const defaultPkgs = ".,./internal/catalog,./service"
 
 // Report is the emitted document.
 type Report struct {
@@ -56,11 +62,11 @@ type Benchmark struct {
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_2.json", "output file ('-' for stdout)")
+		out       = flag.String("o", "BENCH_3.json", "output file ('-' for stdout)")
 		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value; the best run per benchmark is kept")
-		pkg       = flag.String("pkg", ".", "package to benchmark")
+		pkg       = flag.String("pkg", defaultPkgs, "comma-separated packages to benchmark")
 	)
 	flag.Parse()
 
@@ -70,7 +76,11 @@ func main() {
 		"-benchmem",
 		"-benchtime", *benchtime,
 		"-count", strconv.Itoa(*count),
-		*pkg,
+	}
+	for _, p := range strings.Split(*pkg, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			args = append(args, p)
+		}
 	}
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr

@@ -12,9 +12,17 @@
 // Usage:
 //
 //	datasearch [-tables 30] [-storage 400] [-method WMH] [-seed 7]
+//
+// With -remote, the lake is ingested into a running sketchd daemon and
+// the ranking is served over HTTP instead of in-process — the daemon must
+// run with a matching -method/-storage/-seed and -keyspace (the lake uses
+// Universe*8; see the hint printed on mismatch errors):
+//
+//	datasearch -remote http://127.0.0.1:7207
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +31,8 @@ import (
 	ipsketch "repro"
 	"repro/internal/hashing"
 	"repro/internal/worldbank"
+	"repro/service"
+	"repro/service/client"
 )
 
 func main() {
@@ -30,6 +40,7 @@ func main() {
 	storage := flag.Int("storage", 400, "sketch budget in words")
 	methodName := flag.String("method", "WMH", "sketch method")
 	seed := flag.Uint64("seed", 7, "seed")
+	remote := flag.String("remote", "", "sketchd base URL; rank via the daemon instead of in-process")
 	flag.Parse()
 
 	var method ipsketch.Method
@@ -98,27 +109,41 @@ func main() {
 		fatal(err)
 	}
 
-	// Sketch the lake into an index and rank with the engine's parallel
-	// top-k search (workers score shards of the catalog into bounded
-	// heaps; see DESIGN.md §4.2).
+	// Rank the lake: remotely through a sketchd daemon, or in-process by
+	// sketching into an index and using the engine's parallel top-k
+	// search (workers score shards of the catalog into bounded heaps; see
+	// DESIGN.md §4.2). Scores are identical either way; exact score ties
+	// may order differently (the daemon's catalog breaks them by table
+	// name, the in-process index by lake insertion order).
 	byName := make(map[string]*ipsketch.Table, len(lake))
-	ix := ipsketch.NewSketchIndex()
 	for _, t := range lake {
-		sk, err := ts.SketchTable(t)
+		byName[t.Name()] = t
+	}
+	var hits []ipsketch.SearchResult
+	if *remote != "" {
+		hits, err = searchRemote(*remote, lake, qSketch)
+		if err != nil {
+			fatal(fmt.Errorf("%w (the daemon must run with matching -method/-storage/-seed and -keyspace %d)",
+				err, lakeParams.Universe*8))
+		}
+	} else {
+		ix := ipsketch.NewSketchIndex()
+		for _, t := range lake {
+			sk, err := ts.SketchTable(t)
+			if err != nil {
+				fatal(err)
+			}
+			if err := ix.Add(sk); err != nil {
+				fatal(err)
+			}
+		}
+		// One full ranking serves both outputs: the top-10 table is its
+		// prefix (SearchTopK returns exactly that prefix; no need to score
+		// the catalog twice) and the needle rank needs the whole list.
+		hits, err = ix.Search(qSketch, "v", ipsketch.RankByAbsCorrelation, 8)
 		if err != nil {
 			fatal(err)
 		}
-		if err := ix.Add(sk); err != nil {
-			fatal(err)
-		}
-		byName[t.Name()] = t
-	}
-	// One full ranking serves both outputs: the top-10 table is its
-	// prefix (SearchTopK returns exactly that prefix; no need to score
-	// the catalog twice) and the needle rank needs the whole list.
-	hits, err := ix.Search(qSketch, "v", ipsketch.RankByAbsCorrelation, 8)
-	if err != nil {
-		fatal(err)
 	}
 	top := hits
 	if len(top) > 10 {
@@ -141,6 +166,29 @@ func main() {
 			break
 		}
 	}
+}
+
+// searchRemote ingests the lake into a sketchd daemon (raw columns,
+// sketched daemon-side) and ranks with the query sketch built locally, so
+// the query columns never leave the process.
+func searchRemote(baseURL string, lake []*ipsketch.Table, qSketch *ipsketch.TableSketch) ([]ipsketch.SearchResult, error) {
+	ctx := context.Background()
+	cl, err := client.New(baseURL)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range lake {
+		cols := map[string][]float64{}
+		for _, c := range t.ColumnNames() {
+			col, _ := t.Column(c)
+			cols[c] = col
+		}
+		payload := service.TablePayload{Keys: t.Keys(), Columns: cols}
+		if _, err := cl.PutTable(ctx, t.Name(), payload); err != nil {
+			return nil, err
+		}
+	}
+	return cl.SearchSketch(ctx, qSketch, "v", ipsketch.RankByAbsCorrelation, 8, -1)
 }
 
 func fatal(err error) {

@@ -1,0 +1,165 @@
+// Command sketchd serves a sketch catalog over HTTP: the daemon form of
+// the paper's §1.2 dataset-search workflow. Tables are ingested once (raw
+// columns, sketched on arrival, or pre-built sketch bundles), held in a
+// sharded concurrent catalog, and ranked against query columns by
+// estimated post-join statistics — no joins, no raw data at query time.
+//
+// Usage:
+//
+//	sketchd -addr :7207 -method WMH -storage 400 -seed 1 \
+//	        -snapshot /var/lib/sketchd/catalog.ipsx -snapshot-every 5m
+//
+// With -snapshot, the catalog is restored from the file on boot (if it
+// exists), persisted on graceful shutdown (SIGINT/SIGTERM), persisted
+// every -snapshot-every interval, and persisted on demand via
+// POST /snapshot. Snapshots are written atomically (temp file + rename).
+//
+// See the service package for the endpoint reference and
+// cmd/datasearch -remote for a client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	ipsketch "repro"
+	"repro/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sketchd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored for the smoke test: it parses args,
+// binds the listener (announcing the resolved address on ready, if
+// non-nil), serves until ctx is canceled, then shuts down gracefully and
+// writes a final snapshot.
+func run(ctx context.Context, args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("sketchd", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":7207", "listen address")
+		methodName    = fs.String("method", "WMH", "sketch method (see ipsketch.Methods)")
+		storage       = fs.Int("storage", 400, "sketch budget in 64-bit words")
+		seed          = fs.Uint64("seed", 1, "seed deriving all sketch randomness")
+		keySpace      = fs.Uint64("keyspace", 0, "key-domain size (0 = default 2^63)")
+		l             = fs.Uint64("l", 0, "WMH discretization parameter (0 = automatic)")
+		reps          = fs.Int("reps", 0, "CountSketch repetitions (0 = paper default)")
+		quantize      = fs.Bool("quantize", false, "store sample values in 32 bits (supported methods)")
+		fastHash      = fs.Bool("fasthash", false, "polynomial-log record process (supported methods)")
+		shards        = fs.Int("shards", 0, "catalog shard count (0 = default)")
+		snapshot      = fs.String("snapshot", "", "snapshot file (load on boot, save on shutdown)")
+		snapshotEvery = fs.Duration("snapshot-every", 0, "periodic snapshot interval (0 = only on shutdown)")
+		ingestLimit   = fs.Int("ingest-limit", 0, "max in-flight ingest requests (0 = 2×GOMAXPROCS)")
+		searchLimit   = fs.Int("search-limit", 0, "max in-flight search requests (0 = 2×GOMAXPROCS)")
+		lax           = fs.Bool("lax", false, "disable the eager sketch-compatibility check")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	method, err := parseMethod(*methodName)
+	if err != nil {
+		return err
+	}
+
+	srv, err := service.New(service.Config{
+		Sketch: ipsketch.Config{
+			Method: method, StorageWords: *storage, Seed: *seed,
+			L: *l, Reps: *reps, Quantize: *quantize, FastHash: *fastHash,
+		},
+		KeySpace:     *keySpace,
+		Shards:       *shards,
+		Lax:          *lax,
+		SnapshotPath: *snapshot,
+		IngestLimit:  *ingestLimit,
+		SearchLimit:  *searchLimit,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *snapshot != "" {
+		if _, err := os.Stat(*snapshot); err == nil {
+			n, err := srv.LoadSnapshot()
+			if err != nil {
+				return fmt.Errorf("restoring snapshot: %w", err)
+			}
+			fmt.Fprintf(out, "sketchd: restored %d tables from %s\n", n, *snapshot)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("checking snapshot: %w", err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sketchd: listening on %s (method=%v storage=%d seed=%d shards=%d)\n",
+		ln.Addr(), method, *storage, *seed, srv.Catalog().Shards())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *snapshot != "" && *snapshotEvery > 0 {
+		ticker = time.NewTicker(*snapshotEvery)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+
+	for {
+		select {
+		case <-tick:
+			if err := srv.SaveSnapshot(); err != nil {
+				fmt.Fprintf(out, "sketchd: periodic snapshot failed: %v\n", err)
+			}
+		case err := <-serveErr:
+			return err // listener died underneath us
+		case <-ctx.Done():
+			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err := hs.Shutdown(shutCtx)
+			cancel()
+			if err != nil {
+				return fmt.Errorf("shutting down: %w", err)
+			}
+			<-serveErr // http.ErrServerClosed
+			if *snapshot != "" {
+				if err := srv.SaveSnapshot(); err != nil {
+					return fmt.Errorf("final snapshot: %w", err)
+				}
+				fmt.Fprintf(out, "sketchd: saved %d tables to %s\n", srv.Catalog().Len(), *snapshot)
+			}
+			return nil
+		}
+	}
+}
+
+// parseMethod resolves a method by its display name (case-insensitive).
+func parseMethod(name string) (ipsketch.Method, error) {
+	for _, m := range ipsketch.Methods() {
+		if strings.EqualFold(m.String(), name) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown method %q", name)
+}

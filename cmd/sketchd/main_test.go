@@ -1,0 +1,215 @@
+package main
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	ipsketch "repro"
+	"repro/service"
+	"repro/service/client"
+)
+
+// startDaemon runs the daemon on a random port with the given extra args
+// and returns a client plus a stop function that shuts it down gracefully
+// (writing the final snapshot) and waits for exit.
+func startDaemon(t *testing.T, args ...string) (*client.Client, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), testWriter{t}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	cl, err := client.New("http://" + addr)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	return cl, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exit: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon never exited")
+		}
+	}
+}
+
+// testWriter routes daemon logs through the test log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
+
+func resultsIdentical(a, b ipsketch.SearchResult) bool {
+	f64 := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.Table == b.Table && a.Column == b.Column &&
+		f64(a.Score, b.Score) &&
+		f64(a.Stats.Size, b.Stats.Size) &&
+		f64(a.Stats.SumA, b.Stats.SumA) && f64(a.Stats.SumB, b.Stats.SumB) &&
+		f64(a.Stats.MeanA, b.Stats.MeanA) && f64(a.Stats.MeanB, b.Stats.MeanB) &&
+		f64(a.Stats.VarA, b.Stats.VarA) && f64(a.Stats.VarB, b.Stats.VarB) &&
+		f64(a.Stats.InnerProduct, b.Stats.InnerProduct) &&
+		f64(a.Stats.Covariance, b.Stats.Covariance) &&
+		f64(a.Stats.Correlation, b.Stats.Correlation)
+}
+
+// TestSketchdSmoke is the end-to-end service smoke: start the daemon on a
+// random port, ingest three tables, assert the /search ranking is
+// bit-exact with the in-process SearchTopK ranking, snapshot, restart,
+// and re-query bit-exactly.
+func TestSketchdSmoke(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "catalog.ipsx")
+	cfgArgs := []string{"-method", "WMH", "-storage", "300", "-seed", "42", "-keyspace", "1048576", "-shards", "4", "-snapshot", snap}
+	cl, stopDaemon := startDaemon(t, cfgArgs...)
+	ctx := context.Background()
+
+	// Three tables sharing keys with the query, with distinct overlap so
+	// the ranking is meaningful.
+	tables := map[string]service.TablePayload{
+		"alpha": {Keys: []uint64{0, 1, 2, 3, 4, 5, 6, 7}, Columns: map[string][]float64{"v": {1, 2, 3, 4, 5, 6, 7, 8}}},
+		"beta":  {Keys: []uint64{0, 2, 4, 6, 8, 10}, Columns: map[string][]float64{"v": {2, 4, 6, 8, 10, 12}}},
+		"gamma": {Keys: []uint64{1, 3, 5, 100, 101}, Columns: map[string][]float64{"v": {-1, -2, -3, 9, 9}}},
+	}
+	for name, p := range tables {
+		if _, err := cl.PutTable(ctx, name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tables != 3 {
+		t.Fatalf("tables = %d", h.Tables)
+	}
+
+	query := service.TablePayload{
+		Keys:    []uint64{0, 1, 2, 3, 4, 5, 8, 10},
+		Columns: map[string][]float64{"v": {1, 2, 3, 4, 5, 6, 7, 8}},
+	}
+
+	// In-process ground truth: same config, tables added in name-sorted
+	// order (the catalog's canonical scan order).
+	ts, err := ipsketch.NewTableSketcher(ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: 300, Seed: 42}, 1048576)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := ipsketch.NewSketchIndex()
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		p := tables[name]
+		tab, err := ipsketch.NewTable(name, p.Keys, p.Columns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := ts.SketchTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Add(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qTab, err := ipsketch.NewTable("query", query.Keys, query.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSk, err := ts.SketchTable(qTab)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkSearch := func(cl *client.Client, label string) []ipsketch.SearchResult {
+		t.Helper()
+		var last []ipsketch.SearchResult
+		for _, rankBy := range []string{"join_size", "abs_correlation", "abs_inner_product"} {
+			by, err := service.ParseRankBy(rankBy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ix.SearchTopK(qSk, "v", by, 0, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Search(ctx, service.SearchRequest{Table: &query, Column: "v", RankBy: rankBy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s %s: %d results, want %d", label, rankBy, len(got), len(want))
+			}
+			for i := range want {
+				if !resultsIdentical(got[i], want[i]) {
+					t.Fatalf("%s %s: rank %d differs:\n got %+v\nwant %+v", label, rankBy, i, got[i], want[i])
+				}
+			}
+			last = got
+		}
+		return last
+	}
+	before := checkSearch(cl, "pre-restart")
+
+	// Snapshot explicitly, then shut down (which snapshots again) and
+	// restart from the file.
+	if _, err := cl.Snapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stopDaemon()
+
+	cl2, stopDaemon2 := startDaemon(t, cfgArgs...)
+	defer stopDaemon2()
+	h2, err := cl2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Tables != 3 {
+		t.Fatalf("tables after restart = %d", h2.Tables)
+	}
+	after := checkSearch(cl2, "post-restart")
+	if len(after) != len(before) {
+		t.Fatalf("post-restart ranking length %d vs %d", len(after), len(before))
+	}
+	for i := range before {
+		if !resultsIdentical(after[i], before[i]) {
+			t.Fatalf("post-restart rank %d differs: %+v vs %+v", i, after[i], before[i])
+		}
+	}
+
+	// Stats survive the endpoint surface after restart.
+	st, err := cl2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tables != 3 || st.Shards != 4 || st.Method != "WMH" {
+		t.Fatalf("stats after restart: %+v", st)
+	}
+}
+
+func TestSketchdRejectsBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-method", "NOPE"}, testWriter{t}, nil)
+	if err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	err = run(context.Background(), []string{"-storage", "0"}, testWriter{t}, nil)
+	if err == nil {
+		t.Fatal("zero storage accepted")
+	}
+}

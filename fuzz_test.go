@@ -1,6 +1,8 @@
 package ipsketch
 
 import (
+	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -76,5 +78,88 @@ func FuzzVectorConstruction(f *testing.F) {
 		}
 		_ = v.Norm()
 		_ = Dot(v, v)
+	})
+}
+
+// fuzzIndexBytes builds a valid serialized index (two small tables) to
+// seed the envelope fuzzers.
+func fuzzIndexBytes(f *testing.F) []byte {
+	f.Helper()
+	ts, err := NewTableSketcher(Config{Method: MethodWMH, StorageWords: 60, Seed: 5}, 1<<16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ix := NewSketchIndex()
+	for _, name := range []string{"b", "a"} {
+		tab, err := NewTable(name, []uint64{1, 4, 9}, map[string][]float64{"v": {1, -2, 3}})
+		if err != nil {
+			f.Fatal(err)
+		}
+		sk, err := ts.SketchTable(tab)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := ix.Add(sk); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := EncodeIndex(&buf, ix); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzUnmarshalTableSketch(f *testing.F) {
+	enc := fuzzIndexBytes(f)
+	// The first frame of the index envelope is a valid table bundle.
+	frameLen := binary.LittleEndian.Uint32(enc[13:17])
+	f.Add(enc[17 : 17+frameLen])
+	f.Add([]byte{})
+	f.Add([]byte{'I', 'P', 'S', 'T', 1})
+	f.Add([]byte{'I', 'P', 'S', 'T', 1, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tsk, err := UnmarshalTableSketch(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Whatever decoded must round-trip, search, and self-estimate.
+		if tsk.Name == "" {
+			t.Fatal("decoded table sketch with empty name")
+		}
+		if _, err := tsk.MarshalBinary(); err != nil {
+			t.Fatalf("decoded table sketch failed to re-encode: %v", err)
+		}
+		for _, col := range tsk.Columns() {
+			if _, err := EstimateJoinStats(tsk, col, tsk, col); err != nil {
+				t.Fatalf("decoded table sketch failed self-estimate on %q: %v", col, err)
+			}
+		}
+	})
+}
+
+func FuzzDecodeIndex(f *testing.F) {
+	enc := fuzzIndexBytes(f)
+	f.Add(enc)
+	f.Add(enc[:13])
+	f.Add([]byte{})
+	f.Add([]byte{'I', 'P', 'S', 'X', 1, 2, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := DecodeIndex(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Whatever decoded must re-encode and decode to the same catalog.
+		var buf bytes.Buffer
+		if err := EncodeIndex(&buf, ix); err != nil {
+			t.Fatalf("decoded index failed to re-encode: %v", err)
+		}
+		again, err := DecodeIndex(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded index failed to decode: %v", err)
+		}
+		if again.Len() != ix.Len() {
+			t.Fatalf("round trip changed Len %d -> %d", ix.Len(), again.Len())
+		}
 	})
 }

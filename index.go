@@ -18,8 +18,10 @@ import (
 // preexisting sketches").
 //
 // All sketches in an index must come from the same TableSketcher (same
-// configuration and key space); Add enforces comparability lazily by
-// letting estimation fail otherwise.
+// configuration and key space). By default Add enforces comparability
+// lazily, letting estimation fail mid-search otherwise; a strict index
+// (NewStrictSketchIndex) checks eagerly — the first-added sketch pins the
+// configuration and Add rejects mismatches immediately.
 //
 // Search fans candidate scoring across a bounded worker pool, and
 // SearchTopK keeps only a bounded per-worker heap of the k best
@@ -30,18 +32,41 @@ import (
 type SketchIndex struct {
 	entries []*TableSketch
 	byName  map[string]int
+	// strict selects the eager compatibility check; pin is the first sketch
+	// ever added to a strict index and survives removal, so an index emptied
+	// and refilled keeps rejecting the same mismatches.
+	strict bool
+	pin    *TableSketch
 }
 
-// NewSketchIndex returns an empty index.
+// NewSketchIndex returns an empty index with lazy compatibility checking.
 func NewSketchIndex() *SketchIndex {
 	return &SketchIndex{byName: map[string]int{}}
 }
 
+// NewStrictSketchIndex returns an empty index whose Add checks sketch
+// compatibility eagerly: the first sketch added pins the configuration
+// (key space, method, size, seed, variants) and any later Add whose sketch
+// is incomparable fails immediately instead of poisoning searches.
+func NewStrictSketchIndex() *SketchIndex {
+	ix := NewSketchIndex()
+	ix.strict = true
+	return ix
+}
+
 // Add registers a table sketch. Re-adding a name replaces the previous
-// sketch.
+// sketch. On a strict index, sketches incompatible with the pinned
+// configuration are rejected here rather than at estimation time.
 func (ix *SketchIndex) Add(ts *TableSketch) error {
 	if ts == nil {
 		return errors.New("ipsketch: nil table sketch")
+	}
+	if ix.strict {
+		if ix.pin == nil {
+			ix.pin = ts
+		} else if err := ts.CompatibleWith(ix.pin); err != nil {
+			return fmt.Errorf("ipsketch: adding %q to strict index: %w", ts.Name, err)
+		}
 	}
 	if pos, ok := ix.byName[ts.Name]; ok {
 		ix.entries[pos] = ts
@@ -52,8 +77,53 @@ func (ix *SketchIndex) Add(ts *TableSketch) error {
 	return nil
 }
 
+// Remove deletes the sketch registered under name and reports whether it
+// was present. The scan order of the remaining entries is unchanged, so
+// Columns() enumeration and search tie-breaking stay stable across
+// removals.
+func (ix *SketchIndex) Remove(name string) bool {
+	pos, ok := ix.byName[name]
+	if !ok {
+		return false
+	}
+	copy(ix.entries[pos:], ix.entries[pos+1:])
+	ix.entries = ix.entries[:len(ix.entries)-1]
+	delete(ix.byName, name)
+	for i := pos; i < len(ix.entries); i++ {
+		ix.byName[ix.entries[i].Name] = i
+	}
+	return true
+}
+
+// Clone returns a shallow copy of the index: the entry list, name map,
+// and strict pin are copied, the immutable sketches are shared. Mutating
+// one copy never affects the other, which is what copy-on-write catalogs
+// need to publish immutable indexes to lock-free readers.
+func (ix *SketchIndex) Clone() *SketchIndex {
+	out := &SketchIndex{
+		entries: append([]*TableSketch(nil), ix.entries...),
+		byName:  make(map[string]int, len(ix.byName)),
+		strict:  ix.strict,
+		pin:     ix.pin,
+	}
+	for name, pos := range ix.byName {
+		out.byName[name] = pos
+	}
+	return out
+}
+
 // Len returns the number of indexed tables.
 func (ix *SketchIndex) Len() int { return len(ix.entries) }
+
+// Tables returns the indexed table names in scan order (the order Search
+// uses to break score ties).
+func (ix *SketchIndex) Tables() []string {
+	out := make([]string, len(ix.entries))
+	for i, e := range ix.entries {
+		out[i] = e.Name
+	}
+	return out
+}
 
 // Get returns the sketch registered under name.
 func (ix *SketchIndex) Get(name string) (*TableSketch, bool) {

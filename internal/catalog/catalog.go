@@ -1,0 +1,407 @@
+// Package catalog is the concurrent, shard-striped table-sketch catalog
+// behind the serving layer: it wraps the library's SketchIndex semantics
+// (add/replace/remove/get) in a form that absorbs concurrent ingest while
+// answering top-k searches, and persists to the frozen index envelope.
+//
+// # Concurrency model
+//
+// Tables are striped across shards by a hash of their name. Each shard
+// publishes an immutable pair (name→sketch map, name-sorted SketchIndex)
+// behind an RWMutex: writers serialize on a separate mutex, build the
+// replacement copies off-lock, and swap the published pointers under the
+// write lock, so a reader is only ever blocked for the duration of a
+// pointer swap — queries never wait on sketching or index rebuilding.
+// Readers take a copy-on-read snapshot (the published pointers) and work
+// lock-free from there; a snapshot observes a consistent shard state that
+// concurrent ingest can never mutate.
+//
+// # Search determinism
+//
+// Per-shard indexes keep their entries sorted by table name, so every
+// shard ranks with the same total order — score descending, then table
+// name, then column name — that a single name-sorted SketchIndex uses.
+// SearchTopK fans the library's bounded-heap SearchTopK across shards and
+// merges under that order, which makes the sharded ranking bit-exact with
+// Snapshot().SearchTopK: the union of per-shard top-k sets always
+// contains the global top k, and ties (even across shard boundaries)
+// break identically.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	ipsketch "repro"
+)
+
+// DefaultShards is the shard count when Options.Shards is zero: enough
+// stripes that writers rarely collide, few enough that per-shard indexes
+// stay large and search fan-out cheap.
+const DefaultShards = 16
+
+// Options configures a catalog.
+type Options struct {
+	// Shards is the stripe count (0 = DefaultShards).
+	Shards int
+	// Strict pins the sketch configuration to the first table ever put:
+	// later Puts whose sketches are incomparable (method, size, seed,
+	// variant, or key-space mismatch) fail immediately instead of
+	// poisoning searches.
+	Strict bool
+}
+
+// shard is one stripe. tables and ix are immutable once published:
+// writers clone, rebuild, and swap under mu; readers copy the pointers
+// under RLock and then work without any lock.
+type shard struct {
+	writeMu sync.Mutex // serializes writers; held across clone + rebuild
+	mu      sync.RWMutex
+	tables  map[string]*ipsketch.TableSketch
+	ix      *ipsketch.SketchIndex
+}
+
+// view returns the shard's published state.
+func (sh *shard) view() (map[string]*ipsketch.TableSketch, *ipsketch.SketchIndex) {
+	sh.mu.RLock()
+	m, ix := sh.tables, sh.ix
+	sh.mu.RUnlock()
+	return m, ix
+}
+
+// publish swaps in a new published state.
+func (sh *shard) publish(m map[string]*ipsketch.TableSketch, ix *ipsketch.SketchIndex) {
+	sh.mu.Lock()
+	sh.tables, sh.ix = m, ix
+	sh.mu.Unlock()
+}
+
+// Catalog is a sharded concurrent table-sketch catalog.
+type Catalog struct {
+	shards []shard
+	strict bool
+
+	// pin is the first table ever put to a strict catalog; it survives
+	// removal so an emptied catalog keeps rejecting the same mismatches.
+	pinMu sync.Mutex
+	pin   *ipsketch.TableSketch
+}
+
+// New returns an empty catalog.
+func New(opts Options) *Catalog {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	c := &Catalog{shards: make([]shard, n), strict: opts.Strict}
+	for i := range c.shards {
+		c.shards[i].tables = map[string]*ipsketch.TableSketch{}
+		c.shards[i].ix = ipsketch.NewSketchIndex()
+	}
+	return c
+}
+
+// Shards returns the stripe count.
+func (c *Catalog) Shards() int { return len(c.shards) }
+
+// shardFor stripes a table name (FNV-1a 64).
+func (c *Catalog) shardFor(name string) *shard {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// Pin fixes a strict catalog's configuration to the given reference
+// sketch before any table arrives, so even the very first Put is
+// validated (otherwise the first table pins whatever configuration it
+// came with). It fails if an incompatible pin is already set; pinning a
+// lax catalog is a no-op.
+func (c *Catalog) Pin(ref *ipsketch.TableSketch) error {
+	if ref == nil {
+		return errors.New("catalog: nil pin sketch")
+	}
+	if !c.strict {
+		return nil
+	}
+	c.pinMu.Lock()
+	defer c.pinMu.Unlock()
+	if c.pin == nil {
+		c.pin = ref
+		return nil
+	}
+	if err := ref.CompatibleWith(c.pin); err != nil {
+		return fmt.Errorf("catalog: re-pinning: %w", err)
+	}
+	c.pin = ref
+	return nil
+}
+
+// checkPin enforces the strict configuration pin.
+func (c *Catalog) checkPin(ts *ipsketch.TableSketch) error {
+	if !c.strict {
+		return nil
+	}
+	c.pinMu.Lock()
+	defer c.pinMu.Unlock()
+	if c.pin == nil {
+		c.pin = ts
+		return nil
+	}
+	if err := ts.CompatibleWith(c.pin); err != nil {
+		return fmt.Errorf("catalog: putting %q: %w", ts.Name, err)
+	}
+	return nil
+}
+
+// Put registers a table sketch, replacing any previous sketch of the same
+// name. Concurrent Puts never lose updates; concurrent readers keep their
+// snapshots.
+func (c *Catalog) Put(ts *ipsketch.TableSketch) error {
+	if ts == nil {
+		return errors.New("catalog: nil table sketch")
+	}
+	if ts.Name == "" {
+		return errors.New("catalog: table sketch has an empty name")
+	}
+	// Reject anything the snapshot envelope could not round-trip, so a
+	// catalog that accepted a Put can always be saved and restored.
+	if len(ts.Name) > ipsketch.MaxNameLen {
+		return fmt.Errorf("catalog: table name of %d bytes exceeds the serializable maximum", len(ts.Name))
+	}
+	for _, col := range ts.Columns() {
+		if len(col) > ipsketch.MaxNameLen {
+			return fmt.Errorf("catalog: column name of %d bytes exceeds the serializable maximum", len(col))
+		}
+	}
+	if err := c.checkPin(ts); err != nil {
+		return err
+	}
+	sh := c.shardFor(ts.Name)
+	sh.writeMu.Lock()
+	defer sh.writeMu.Unlock()
+	old, _ := sh.view()
+	next := make(map[string]*ipsketch.TableSketch, len(old)+1)
+	for name, sk := range old {
+		next[name] = sk
+	}
+	next[ts.Name] = ts
+	ix, err := sortedIndex(next)
+	if err != nil {
+		return err
+	}
+	sh.publish(next, ix)
+	return nil
+}
+
+// Remove deletes the table and reports whether it was present.
+func (c *Catalog) Remove(name string) bool {
+	sh := c.shardFor(name)
+	sh.writeMu.Lock()
+	defer sh.writeMu.Unlock()
+	old, _ := sh.view()
+	if _, ok := old[name]; !ok {
+		return false
+	}
+	next := make(map[string]*ipsketch.TableSketch, len(old)-1)
+	for n, sk := range old {
+		if n != name {
+			next[n] = sk
+		}
+	}
+	ix, err := sortedIndex(next)
+	if err != nil {
+		// Unreachable: every sketch in the shard was accepted by Add once.
+		panic(fmt.Sprintf("catalog: rebuilding shard after remove: %v", err))
+	}
+	sh.publish(next, ix)
+	return true
+}
+
+// sortedIndex builds the published per-shard index: entries added in
+// name-sorted order, so the index's scan-order tiebreak is the catalog's
+// canonical (table, column) order.
+func sortedIndex(m map[string]*ipsketch.TableSketch) (*ipsketch.SketchIndex, error) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ix := ipsketch.NewSketchIndex()
+	for _, name := range names {
+		if err := ix.Add(m[name]); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Get returns the sketch registered under name.
+func (c *Catalog) Get(name string) (*ipsketch.TableSketch, bool) {
+	m, _ := c.shardFor(name).view()
+	ts, ok := m[name]
+	return ts, ok
+}
+
+// Len returns the number of cataloged tables.
+func (c *Catalog) Len() int {
+	total := 0
+	for i := range c.shards {
+		m, _ := c.shards[i].view()
+		total += len(m)
+	}
+	return total
+}
+
+// ShardSizes returns the per-shard table counts (for statsz).
+func (c *Catalog) ShardSizes() []int {
+	out := make([]int, len(c.shards))
+	for i := range c.shards {
+		m, _ := c.shards[i].view()
+		out[i] = len(m)
+	}
+	return out
+}
+
+// Tables returns every cataloged table name in sorted order.
+func (c *Catalog) Tables() []string {
+	var out []string
+	for i := range c.shards {
+		m, _ := c.shards[i].view()
+		for name := range m {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a single name-sorted SketchIndex over a copy-on-read
+// snapshot of the whole catalog. The result is immutable with respect to
+// later catalog mutations and ranks searches exactly like the sharded
+// SearchTopK.
+func (c *Catalog) Snapshot() *ipsketch.SketchIndex {
+	merged := map[string]*ipsketch.TableSketch{}
+	for i := range c.shards {
+		m, _ := c.shards[i].view()
+		for name, sk := range m {
+			merged[name] = sk
+		}
+	}
+	ix, err := sortedIndex(merged)
+	if err != nil {
+		panic(fmt.Sprintf("catalog: building snapshot index: %v", err))
+	}
+	return ix
+}
+
+// Search is SearchTopK without a bound: the full ranking.
+func (c *Catalog) Search(query *ipsketch.TableSketch, queryCol string, by ipsketch.RankBy, minJoinSize float64) ([]ipsketch.SearchResult, error) {
+	return c.SearchTopK(query, queryCol, by, minJoinSize, -1)
+}
+
+// SearchTopK ranks every cataloged (table, column) against the query
+// column and returns the k best (k < 0 = all, k == 0 = none). Each shard
+// runs the library's bounded-heap SearchTopK over its snapshot
+// concurrently; the merged ranking is bit-exact with
+// Snapshot().SearchTopK on the same catalog state.
+func (c *Catalog) SearchTopK(query *ipsketch.TableSketch, queryCol string, by ipsketch.RankBy, minJoinSize float64, k int) ([]ipsketch.SearchResult, error) {
+	// Take all shard snapshots first so one search observes one state.
+	ixs := make([]*ipsketch.SketchIndex, len(c.shards))
+	for i := range c.shards {
+		_, ixs[i] = c.shards[i].view()
+	}
+	results := make([][]ipsketch.SearchResult, len(ixs))
+	errs := make([]error, len(ixs))
+	var wg sync.WaitGroup
+	for i, ix := range ixs {
+		wg.Add(1)
+		go func(i int, ix *ipsketch.SketchIndex) {
+			defer wg.Done()
+			results[i], errs[i] = ix.SearchTopK(query, queryCol, by, minJoinSize, k)
+		}(i, ix)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var merged []ipsketch.SearchResult
+	for _, rs := range results {
+		merged = append(merged, rs...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		return a.Column < b.Column
+	})
+	if k >= 0 && len(merged) > k {
+		merged = merged[:k]
+	}
+	if len(merged) == 0 {
+		return nil, nil
+	}
+	return merged, nil
+}
+
+// Save writes a snapshot of the catalog to path atomically: the index
+// envelope is streamed to a temporary file in the same directory and
+// renamed over the target, so a crash mid-save never corrupts the
+// previous snapshot.
+func (c *Catalog) Save(path string) error {
+	ix := c.Snapshot()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("catalog: creating snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := ipsketch.EncodeIndex(tmp, ix); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: encoding snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("catalog: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("catalog: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save and puts every table into the
+// catalog (replacing same-named tables). It returns the number of tables
+// loaded. Strict catalogs validate every loaded sketch against the pin.
+func (c *Catalog) Load(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("catalog: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	ix, err := ipsketch.DecodeIndex(f)
+	if err != nil {
+		return 0, fmt.Errorf("catalog: decoding snapshot %s: %w", path, err)
+	}
+	for _, name := range ix.Tables() {
+		ts, _ := ix.Get(name)
+		if err := c.Put(ts); err != nil {
+			return 0, err
+		}
+	}
+	return ix.Len(), nil
+}

@@ -1,0 +1,494 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	ipsketch "repro"
+	"repro/internal/hashing"
+)
+
+const fixtureKeySpace = 1 << 20
+
+func fixtureSketcher(t testing.TB) *ipsketch.TableSketcher {
+	t.Helper()
+	ts, err := ipsketch.NewTableSketcher(
+		ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: 300, Seed: 11}, fixtureKeySpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// fixtureSketches sketches n tables with overlapping keys and varied
+// values (distinct scores) plus a query sketch.
+func fixtureSketches(t testing.TB, n int) (*ipsketch.TableSketch, []*ipsketch.TableSketch) {
+	t.Helper()
+	ts := fixtureSketcher(t)
+	rng := hashing.NewSplitMix64(99)
+	const rows = 120
+	qKeys := make([]uint64, rows)
+	qVals := make([]float64, rows)
+	for i := range qKeys {
+		qKeys[i] = uint64(i)
+		qVals[i] = rng.Norm()
+	}
+	qt, err := ipsketch.NewTable("query", qKeys, map[string][]float64{"v": qVals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSk, err := ts.SketchTable(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sks := make([]*ipsketch.TableSketch, n)
+	for j := 0; j < n; j++ {
+		keys := make([]uint64, rows/2)
+		vals := make([]float64, rows/2)
+		for i := range keys {
+			keys[i] = uint64(i*(j%5+1) + j) // strictly increasing for fixed j
+			vals[i] = 0.1*float64(j)*qVals[int(keys[i])%rows] + rng.Norm()
+		}
+		tab, err := ipsketch.NewTable(fmt.Sprintf("t%03d", j), keys, map[string][]float64{"v": vals})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sks[j], err = ts.SketchTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return qSk, sks
+}
+
+func resultsIdentical(a, b ipsketch.SearchResult) bool {
+	f64 := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.Table == b.Table && a.Column == b.Column &&
+		f64(a.Score, b.Score) &&
+		f64(a.Stats.Size, b.Stats.Size) &&
+		f64(a.Stats.SumA, b.Stats.SumA) && f64(a.Stats.SumB, b.Stats.SumB) &&
+		f64(a.Stats.MeanA, b.Stats.MeanA) && f64(a.Stats.MeanB, b.Stats.MeanB) &&
+		f64(a.Stats.VarA, b.Stats.VarA) && f64(a.Stats.VarB, b.Stats.VarB) &&
+		f64(a.Stats.InnerProduct, b.Stats.InnerProduct) &&
+		f64(a.Stats.Covariance, b.Stats.Covariance) &&
+		f64(a.Stats.Correlation, b.Stats.Correlation)
+}
+
+func requireSameRanking(t *testing.T, got, want []ipsketch.SearchResult, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !resultsIdentical(got[i], want[i]) {
+			t.Fatalf("%s: rank %d differs:\n got %+v\nwant %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestCatalogPutGetRemoveLen(t *testing.T) {
+	_, sks := fixtureSketches(t, 10)
+	for _, shards := range []int{1, 3, 8} {
+		c := New(Options{Shards: shards})
+		for _, sk := range sks {
+			if err := c.Put(sk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.Len() != len(sks) {
+			t.Fatalf("shards=%d: Len = %d", shards, c.Len())
+		}
+		if got := c.Tables(); len(got) != len(sks) || got[0] != "t000" || got[len(got)-1] != "t009" {
+			t.Fatalf("shards=%d: Tables = %v", shards, got)
+		}
+		// Replacement keeps Len stable.
+		if err := c.Put(sks[3]); err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() != len(sks) {
+			t.Fatalf("shards=%d: Len after replace = %d", shards, c.Len())
+		}
+		if _, ok := c.Get("t003"); !ok {
+			t.Fatal("t003 missing")
+		}
+		if _, ok := c.Get("nope"); ok {
+			t.Fatal("phantom table")
+		}
+		if c.Remove("nope") {
+			t.Fatal("removed a missing table")
+		}
+		if !c.Remove("t003") {
+			t.Fatal("failed to remove t003")
+		}
+		if _, ok := c.Get("t003"); ok {
+			t.Fatal("t003 still resolvable")
+		}
+		if c.Len() != len(sks)-1 {
+			t.Fatalf("shards=%d: Len after remove = %d", shards, c.Len())
+		}
+		total := 0
+		for _, n := range c.ShardSizes() {
+			total += n
+		}
+		if total != c.Len() {
+			t.Fatalf("shard sizes %v sum to %d, Len is %d", c.ShardSizes(), total, c.Len())
+		}
+	}
+	c := New(Options{})
+	if err := c.Put(nil); err == nil {
+		t.Fatal("nil sketch accepted")
+	}
+}
+
+// TestCatalogSearchMatchesSingleIndex: for several shard counts, rank-by
+// statistics, and k values, the sharded search must be bit-exact with the
+// merged name-sorted single index.
+func TestCatalogSearchMatchesSingleIndex(t *testing.T) {
+	qSk, sks := fixtureSketches(t, 40)
+	for _, shards := range []int{1, 4, 7, 32} {
+		c := New(Options{Shards: shards})
+		for _, sk := range sks {
+			if err := c.Put(sk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		single := c.Snapshot()
+		for _, by := range []ipsketch.RankBy{ipsketch.RankByJoinSize, ipsketch.RankByAbsCorrelation, ipsketch.RankByAbsInnerProduct} {
+			for _, k := range []int{-1, 0, 1, 3, 17, len(sks), len(sks) * 2} {
+				want, err := single.SearchTopK(qSk, "v", by, 1, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.SearchTopK(qSk, "v", by, 1, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameRanking(t, got, want, fmt.Sprintf("shards=%d by=%d k=%d", shards, by, k))
+			}
+		}
+	}
+}
+
+// TestCatalogAllTiedAcrossShards: identical table contents under names
+// that land on different shards must rank in global name order — the
+// scan-order tiebreak survives the shard merge.
+func TestCatalogAllTiedAcrossShards(t *testing.T) {
+	ts := fixtureSketcher(t)
+	keys := make([]uint64, 80)
+	vals := make([]float64, 80)
+	for i := range keys {
+		keys[i] = uint64(i * 2)
+		vals[i] = float64(i%5) + 1
+	}
+	qt, err := ipsketch.NewTable("query", keys, map[string][]float64{"v": vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSk, err := ts.SketchTable(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 24
+	c := New(Options{Shards: 4})
+	names := make([]string, n)
+	for j := 0; j < n; j++ {
+		// Insert in reverse name order so insertion order ≠ name order.
+		name := fmt.Sprintf("tied%02d", n-1-j)
+		names[n-1-j] = name
+		tab, err := ipsketch.NewTable(name, keys, map[string][]float64{"w": vals})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := ts.SketchTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	full, err := c.Search(qSk, "v", ipsketch.RankByJoinSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != n {
+		t.Fatalf("%d results, want %d", len(full), n)
+	}
+	for i, r := range full {
+		if r.Table != names[i] {
+			t.Fatalf("rank %d is %q, want name-order %q", i, r.Table, names[i])
+		}
+		if r.Score != full[0].Score {
+			t.Fatalf("scores not tied at rank %d", i)
+		}
+	}
+	// Every k is the exact name-order prefix, and bit-exact with the
+	// single-index ranking.
+	single := c.Snapshot()
+	for _, k := range []int{1, 2, 5, n / 2, n, n + 9} {
+		got, err := c.SearchTopK(qSk, "v", ipsketch.RankByJoinSize, 0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.SearchTopK(qSk, "v", ipsketch.RankByJoinSize, 0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameRanking(t, got, want, fmt.Sprintf("tied k=%d", k))
+	}
+}
+
+func TestCatalogStrictPinsConfig(t *testing.T) {
+	mk := func(cfg ipsketch.Config, keySpace uint64, name string) *ipsketch.TableSketch {
+		t.Helper()
+		ts, err := ipsketch.NewTableSketcher(cfg, keySpace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := ipsketch.NewTable(name, []uint64{1, 2, 3}, map[string][]float64{"v": {1, 2, 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := ts.SketchTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sk
+	}
+	base := ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: 100, Seed: 1}
+	c := New(Options{Shards: 4, Strict: true})
+	if err := c.Put(mk(base, 1<<16, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(mk(base, 1<<16, "b")); err != nil {
+		t.Fatal(err)
+	}
+	bad := ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: 100, Seed: 2}
+	if err := c.Put(mk(bad, 1<<16, "c")); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	if err := c.Put(mk(base, 1<<17, "c")); err == nil {
+		t.Fatal("key-space mismatch accepted")
+	}
+	// Pin survives emptying the catalog.
+	c.Remove("a")
+	c.Remove("b")
+	if err := c.Put(mk(bad, 1<<16, "c")); err == nil {
+		t.Fatal("pin forgotten after catalog emptied")
+	}
+	// Lax catalogs accept anything.
+	lax := New(Options{Shards: 4})
+	if err := lax.Put(mk(base, 1<<16, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := lax.Put(mk(bad, 1<<16, "b")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCatalogConcurrentIngestAndSearch: heavy concurrent Put/Remove/Get/
+// SearchTopK with no lost updates; run under -race in CI.
+func TestCatalogConcurrentIngestAndSearch(t *testing.T) {
+	qSk, sks := fixtureSketches(t, 60)
+	c := New(Options{Shards: 8})
+	// Pre-load half so searches have something to chew on from the start.
+	for _, sk := range sks[:30] {
+		if err := c.Put(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	// Writers: each owns a disjoint slice of tables, puts them all,
+	// removes a few, re-puts them.
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w * 10; i < (w+1)*10; i++ {
+				if err := c.Put(sks[i]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			for i := w * 10; i < w*10+5; i++ {
+				if !c.Remove(sks[i].Name) {
+					errCh <- fmt.Errorf("writer %d: lost table %s", w, sks[i].Name)
+					return
+				}
+			}
+			for i := w * 10; i < w*10+5; i++ {
+				if err := c.Put(sks[i]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: search and point-lookup while writers churn.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if _, err := c.SearchTopK(qSk, "v", ipsketch.RankByJoinSize, 0, 5); err != nil {
+					errCh <- err
+					return
+				}
+				c.Get(sks[i%len(sks)].Name)
+				c.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// No lost updates: every table is present afterwards.
+	if c.Len() != len(sks) {
+		t.Fatalf("Len = %d after concurrent churn, want %d", c.Len(), len(sks))
+	}
+	for _, sk := range sks {
+		got, ok := c.Get(sk.Name)
+		if !ok {
+			t.Fatalf("table %s lost", sk.Name)
+		}
+		if got != sk {
+			t.Fatalf("table %s points at a different sketch", sk.Name)
+		}
+	}
+	// And the final state searches exactly like its merged index.
+	want, err := c.Snapshot().SearchTopK(qSk, "v", ipsketch.RankByJoinSize, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.SearchTopK(qSk, "v", ipsketch.RankByJoinSize, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRanking(t, got, want, "post-churn")
+}
+
+func TestCatalogSaveLoadRoundTrip(t *testing.T) {
+	qSk, sks := fixtureSketches(t, 15)
+	c := New(Options{Shards: 4})
+	for _, sk := range sks {
+		if err := c.Put(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "snap.ipsx")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a catalog with a different shard count: rankings must
+	// still be bit-exact (the canonical order is name-based, not
+	// shard-based).
+	c2 := New(Options{Shards: 9})
+	n, err := c2.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(sks) || c2.Len() != len(sks) {
+		t.Fatalf("loaded %d tables, Len %d, want %d", n, c2.Len(), len(sks))
+	}
+	want, err := c.Search(qSk, "v", ipsketch.RankByAbsCorrelation, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Search(qSk, "v", ipsketch.RankByAbsCorrelation, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRanking(t, got, want, "save/load")
+
+	// Save is atomic: the temp file never survives.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("snapshot dir has leftovers: %v", names)
+	}
+	if _, err := c2.Load(filepath.Join(t.TempDir(), "missing.ipsx")); err == nil {
+		t.Fatal("loading a missing snapshot succeeded")
+	}
+}
+
+// TestCatalogRejectsUnserializableNames: a Put the snapshot envelope
+// could not round-trip is refused up front.
+func TestCatalogRejectsUnserializableNames(t *testing.T) {
+	ts := fixtureSketcher(t)
+	long := make([]byte, ipsketch.MaxNameLen+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	tab, err := ipsketch.NewTable(string(long), []uint64{1, 2}, map[string][]float64{"v": {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := ts.SketchTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Options{})
+	if err := c.Put(sk); err == nil {
+		t.Fatal("unserializable table name accepted")
+	}
+}
+
+// TestCatalogPin: a pre-pinned strict catalog validates even the very
+// first Put.
+func TestCatalogPin(t *testing.T) {
+	mk := func(seed uint64, name string) *ipsketch.TableSketch {
+		t.Helper()
+		ts, err := ipsketch.NewTableSketcher(
+			ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: 100, Seed: seed}, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := ipsketch.NewTable(name, []uint64{1, 2}, map[string][]float64{"v": {1, 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := ts.SketchTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sk
+	}
+	c := New(Options{Strict: true})
+	if err := c.Pin(mk(1, "ref")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(mk(2, "first")); err == nil {
+		t.Fatal("first Put with mismatched seed accepted despite pin")
+	}
+	if err := c.Put(mk(1, "first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("ref"); ok {
+		t.Fatal("pin reference appeared as a cataloged table")
+	}
+	if err := c.Pin(mk(2, "ref")); err == nil {
+		t.Fatal("incompatible re-pin accepted")
+	}
+	// Pinning a lax catalog is a no-op.
+	lax := New(Options{})
+	if err := lax.Pin(mk(1, "ref")); err != nil {
+		t.Fatal(err)
+	}
+	if err := lax.Put(mk(2, "x")); err != nil {
+		t.Fatal(err)
+	}
+}

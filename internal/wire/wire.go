@@ -82,6 +82,17 @@ func (w *Writer) F64s(vs []float64) {
 	}
 }
 
+// Raw appends bytes with no length prefix (for pre-encoded frames whose
+// length the caller has already written).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Str32 appends a u32-length-prefixed string (strings are short — names,
+// labels — so the narrower prefix keeps envelopes compact).
+func (w *Writer) Str32(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
 // Bytes returns the accumulated encoding.
 func (w *Writer) Bytes() []byte { return w.buf }
 
@@ -161,6 +172,36 @@ func (r *Reader) Byte() byte {
 		return 0
 	}
 	return b[0]
+}
+
+// Raw reads n bytes with no length prefix. The returned slice aliases the
+// input; callers that retain it must copy.
+func (r *Reader) Raw(n int) []byte {
+	if n < 0 {
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: negative raw length %d", n)
+		}
+		return nil
+	}
+	return r.take(n)
+}
+
+// Str32 reads a u32-length-prefixed string, rejecting lengths above max as
+// hostile input.
+func (r *Reader) Str32(max int) string {
+	n := int(r.U32())
+	if r.err != nil {
+		return ""
+	}
+	if n > max {
+		r.err = fmt.Errorf("wire: implausible string length %d (max %d)", n, max)
+		return ""
+	}
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
 }
 
 // sliceLen reads and sanity-checks a slice length prefix.

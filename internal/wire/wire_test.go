@@ -142,3 +142,54 @@ func TestEmptySlices(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRoundTripRawStr(t *testing.T) {
+	var w Writer
+	w.Str32("table-α")
+	w.Raw([]byte{1, 2, 3})
+	w.Str32("")
+
+	r := NewReader(w.Bytes())
+	if s := r.Str32(64); s != "table-α" {
+		t.Fatalf("Str32 = %q", s)
+	}
+	raw := r.Raw(3)
+	if len(raw) != 3 || raw[0] != 1 || raw[2] != 3 {
+		t.Fatalf("Raw = %v", raw)
+	}
+	if s := r.Str32(64); s != "" {
+		t.Fatalf("empty Str32 = %q", s)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrRawHostileInputs(t *testing.T) {
+	// Oversized string length prefix is rejected, not allocated.
+	var w Writer
+	w.U32(1 << 30)
+	r := NewReader(w.Bytes())
+	if r.Str32(16); r.Err() == nil {
+		t.Fatal("implausible string length accepted")
+	}
+
+	// Truncated string body.
+	var w2 Writer
+	w2.U32(5)
+	w2.Raw([]byte("ab"))
+	r = NewReader(w2.Bytes())
+	if r.Str32(16); !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("truncated string: err = %v", r.Err())
+	}
+
+	// Truncated and negative raw reads.
+	r = NewReader([]byte{1, 2})
+	if r.Raw(3); !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("truncated raw: err = %v", r.Err())
+	}
+	r = NewReader([]byte{1, 2})
+	if r.Raw(-1); r.Err() == nil {
+		t.Fatal("negative raw length accepted")
+	}
+}

@@ -283,6 +283,20 @@ func (sk *Sketch) StorageWords() float64 {
 	return sk.payload.StorageWords()
 }
 
+// Compatible reports why two sketches cannot be compared — a nil sketch,
+// a method mismatch, or a construction-parameter/seed/variant mismatch —
+// or nil when Estimate would accept the pair. It runs the same checks the
+// estimators run, without touching estimator math, so catalogs can reject
+// incomparable sketches eagerly at ingest time instead of failing
+// mid-search.
+func Compatible(a, b *Sketch) error {
+	be, err := pairBackend(a, b)
+	if err != nil {
+		return err
+	}
+	return be.compatible(a.payload, b.payload)
+}
+
 // Estimate returns the inner-product estimate from two sketches of the
 // same configuration. It fails when the sketches were produced by
 // different methods or incompatible parameters (size, seed, or variant

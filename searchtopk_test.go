@@ -96,3 +96,107 @@ func TestSearchTopKErrors(t *testing.T) {
 		t.Fatalf("k=0 returned %d results", len(res))
 	}
 }
+
+// TestSearchTopKAllTiedScores: when every candidate scores identically
+// (identical table contents under different names), the ranking must be
+// exactly scan order — the deterministic tiebreak — for every k, and must
+// hold across repeated parallel runs.
+func TestSearchTopKAllTiedScores(t *testing.T) {
+	ts, err := NewTableSketcher(Config{Method: MethodWMH, StorageWords: 200, Seed: 4}, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 100)
+	vals := make([]float64, 100)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = float64(i%7) + 1
+	}
+	qt, err := NewTable("query", keys, map[string][]float64{"v": vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSk, err := ts.SketchTable(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical content under names whose sort order differs from the
+	// insertion order, so a sorted-by-name bug would be caught.
+	names := []string{"m", "z", "a", "q", "c", "x", "b", "k", "f", "t",
+		"n", "y", "d", "r", "e", "w", "g", "l", "h", "s"}
+	ix := NewSketchIndex()
+	for _, name := range names {
+		tab, err := NewTable(name, keys, map[string][]float64{"w": vals})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := ts.SketchTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Add(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, by := range []RankBy{RankByJoinSize, RankByAbsCorrelation, RankByAbsInnerProduct} {
+		full, err := ix.Search(qSk, "v", by, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full) != len(names) {
+			t.Fatalf("by=%d: %d results, want %d", by, len(full), len(names))
+		}
+		for i, r := range full {
+			if r.Table != names[i] {
+				t.Fatalf("by=%d: rank %d is %q, want scan-order %q", by, i, r.Table, names[i])
+			}
+			if i > 0 && r.Score != full[0].Score {
+				t.Fatalf("by=%d: scores not tied: %v vs %v", by, r.Score, full[0].Score)
+			}
+		}
+		// Every k returns exactly the scan-order prefix, including k far
+		// beyond the catalog size.
+		for _, k := range []int{1, 2, 7, len(names), len(names) + 50} {
+			top, err := ix.SearchTopK(qSk, "v", by, 0, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := k
+			if want > len(full) {
+				want = len(full)
+			}
+			if len(top) != want {
+				t.Fatalf("by=%d k=%d: %d results", by, k, len(top))
+			}
+			for i := range top {
+				if !resultsIdentical(top[i], full[i]) {
+					t.Fatalf("by=%d k=%d: rank %d differs", by, k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchTopKBeyondCatalogSize: k larger than the candidate count is
+// the full ranking, not an error or padding.
+func TestSearchTopKBeyondCatalogSize(t *testing.T) {
+	_, qSk, ix := buildSearchFixture(t)
+	full, err := ix.Search(qSk, "v", RankByJoinSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := ix.SearchTopK(qSk, "v", RankByJoinSize, 0, ix.Len()*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != len(full) {
+		t.Fatalf("k beyond size: %d results, want %d", len(top), len(full))
+	}
+	for i := range top {
+		if !resultsIdentical(top[i], full[i]) {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}

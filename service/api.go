@@ -1,0 +1,254 @@
+// Package service exposes a sketch catalog over HTTP/JSON: the serving
+// layer of the paper's §1.2 workflow. A daemon holds the precomputed
+// sketches of every table in the search set; analysts PUT new tables
+// (raw columns, sketched server-side, or pre-built sketch bundles) and
+// POST queries that are answered from sketches alone.
+//
+// Endpoints:
+//
+//	PUT    /tables/{name}  ingest a table (JSON columns or a serialized
+//	                       table-sketch bundle as application/octet-stream)
+//	DELETE /tables/{name}  remove a table
+//	POST   /search         rank the catalog against a query column
+//	POST   /estimate       pairwise join statistics for two cataloged tables
+//	POST   /snapshot       persist the catalog to the configured snapshot
+//	GET    /healthz        liveness
+//	GET    /statsz         counters, per-shard sizes, configuration
+//
+// Ingest and query paths have independent concurrency limits, and the
+// ingest hot path draws table-sketch builders from a pool so steady-state
+// sketching reuses construction scratch.
+package service
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	ipsketch "repro"
+)
+
+// Float is a float64 that survives JSON: NaN and infinities (which
+// encoding/json rejects) encode as null and decode back to NaN. Finite
+// values use the shortest round-trip representation, so estimates cross
+// the wire bit-exactly.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = Float(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return fmt.Errorf("service: parsing float %q: %w", data, err)
+	}
+	*f = Float(v)
+	return nil
+}
+
+// TablePayload is a raw table in a request body: parallel key and value
+// columns, exactly as NewTable takes them. Exactly one of Keys or
+// StringKeys must be set; StringKeys are mapped through KeyFromString.
+// Tables with duplicate keys are rejected unless Agg names an aggregation
+// ("sum", "mean", "count", "min", "max", "first") to reduce them.
+type TablePayload struct {
+	Keys       []uint64             `json:"keys,omitempty"`
+	StringKeys []string             `json:"string_keys,omitempty"`
+	Columns    map[string][]float64 `json:"columns"`
+	Agg        string               `json:"agg,omitempty"`
+}
+
+// PutResponse acknowledges an ingest.
+type PutResponse struct {
+	Table        string   `json:"table"`
+	Columns      []string `json:"columns"`
+	StorageWords Float    `json:"storage_words"`
+}
+
+// DeleteResponse acknowledges a removal.
+type DeleteResponse struct {
+	Table   string `json:"table"`
+	Removed bool   `json:"removed"`
+}
+
+// SearchRequest ranks the catalog against a query column. The query table
+// arrives inline (raw columns in Table, sketched server-side) or as a
+// pre-built serialized table-sketch bundle (SketchB64, standard base64 of
+// TableSketch.MarshalBinary); exactly one must be set. A cataloged table
+// whose name equals the query's is excluded from the ranking (the index's
+// self-exclusion rule); inline tables default to the un-catalogable empty
+// name, so they exclude nothing unless TableName is set. Bundle queries
+// carry their own name.
+type SearchRequest struct {
+	Table     *TablePayload `json:"table,omitempty"`
+	TableName string        `json:"table_name,omitempty"` // self-exclusion name for an inline table
+	SketchB64 string        `json:"sketch_b64,omitempty"`
+	Column    string        `json:"column"`
+	RankBy    string        `json:"rank_by"`                 // see ParseRankBy
+	MinJoin   float64       `json:"min_join_size,omitempty"` // candidates below are skipped
+	K         *int          `json:"k,omitempty"`             // nil = full ranking; 0 = none
+}
+
+// SearchHit is one ranked candidate.
+type SearchHit struct {
+	Table  string        `json:"table"`
+	Column string        `json:"column"`
+	Score  Float         `json:"score"`
+	Stats  JoinStatsJSON `json:"stats"`
+}
+
+// SearchResponse is the ranked result list.
+type SearchResponse struct {
+	Results []SearchHit `json:"results"`
+}
+
+// EstimateRequest asks for the pairwise join statistics of two cataloged
+// tables.
+type EstimateRequest struct {
+	TableA  string `json:"table_a"`
+	ColumnA string `json:"column_a"`
+	TableB  string `json:"table_b"`
+	ColumnB string `json:"column_b"`
+}
+
+// EstimateResponse carries the estimated statistics.
+type EstimateResponse struct {
+	Stats JoinStatsJSON `json:"stats"`
+}
+
+// SnapshotResponse acknowledges a snapshot save.
+type SnapshotResponse struct {
+	Path   string `json:"path"`
+	Tables int    `json:"tables"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Tables int    `json:"tables"`
+}
+
+// StatsResponse is the /statsz body.
+type StatsResponse struct {
+	Tables        int     `json:"tables"`
+	Shards        int     `json:"shards"`
+	ShardSizes    []int   `json:"shard_sizes"`
+	Method        string  `json:"method"`
+	StorageWords  int     `json:"storage_words"`
+	KeySpace      uint64  `json:"key_space"`
+	Strict        bool    `json:"strict"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Puts          int64   `json:"puts"`
+	Deletes       int64   `json:"deletes"`
+	Searches      int64   `json:"searches"`
+	Estimates     int64   `json:"estimates"`
+	Snapshots     int64   `json:"snapshots"`
+	Errors        int64   `json:"errors"`
+	SnapshotPath  string  `json:"snapshot_path,omitempty"`
+	LastSnapshot  string  `json:"last_snapshot_utc,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// JoinStatsJSON mirrors ipsketch.JoinStats with NaN-safe floats.
+type JoinStatsJSON struct {
+	Size         Float `json:"size"`
+	SumA         Float `json:"sum_a"`
+	SumB         Float `json:"sum_b"`
+	MeanA        Float `json:"mean_a"`
+	MeanB        Float `json:"mean_b"`
+	VarA         Float `json:"var_a"`
+	VarB         Float `json:"var_b"`
+	InnerProduct Float `json:"inner_product"`
+	Covariance   Float `json:"covariance"`
+	Correlation  Float `json:"correlation"`
+}
+
+// statsToJSON converts estimator output for the wire.
+func statsToJSON(st ipsketch.JoinStats) JoinStatsJSON {
+	return JoinStatsJSON{
+		Size: Float(st.Size),
+		SumA: Float(st.SumA), SumB: Float(st.SumB),
+		MeanA: Float(st.MeanA), MeanB: Float(st.MeanB),
+		VarA: Float(st.VarA), VarB: Float(st.VarB),
+		InnerProduct: Float(st.InnerProduct),
+		Covariance:   Float(st.Covariance),
+		Correlation:  Float(st.Correlation),
+	}
+}
+
+// Stats converts back to the library type.
+func (j JoinStatsJSON) Stats() ipsketch.JoinStats {
+	return ipsketch.JoinStats{
+		Size: float64(j.Size),
+		SumA: float64(j.SumA), SumB: float64(j.SumB),
+		MeanA: float64(j.MeanA), MeanB: float64(j.MeanB),
+		VarA: float64(j.VarA), VarB: float64(j.VarB),
+		InnerProduct: float64(j.InnerProduct),
+		Covariance:   float64(j.Covariance),
+		Correlation:  float64(j.Correlation),
+	}
+}
+
+// Result converts a hit back to the library type.
+func (h SearchHit) Result() ipsketch.SearchResult {
+	return ipsketch.SearchResult{
+		Table:  h.Table,
+		Column: h.Column,
+		Score:  float64(h.Score),
+		Stats:  h.Stats.Stats(),
+	}
+}
+
+// hitFromResult converts a library result for the wire.
+func hitFromResult(r ipsketch.SearchResult) SearchHit {
+	return SearchHit{
+		Table:  r.Table,
+		Column: r.Column,
+		Score:  Float(r.Score),
+		Stats:  statsToJSON(r.Stats),
+	}
+}
+
+// ParseRankBy maps a wire name to a ranking statistic. Accepted values:
+// "join_size", "abs_correlation", "abs_inner_product" (plus the short
+// aliases "size", "corr", "ip").
+func ParseRankBy(s string) (ipsketch.RankBy, error) {
+	switch s {
+	case "join_size", "size":
+		return ipsketch.RankByJoinSize, nil
+	case "abs_correlation", "corr":
+		return ipsketch.RankByAbsCorrelation, nil
+	case "abs_inner_product", "ip":
+		return ipsketch.RankByAbsInnerProduct, nil
+	}
+	return 0, fmt.Errorf("service: unknown rank_by %q (want join_size, abs_correlation, or abs_inner_product)", s)
+}
+
+// RankByName is the wire name of a ranking statistic (inverse of
+// ParseRankBy's canonical names).
+func RankByName(by ipsketch.RankBy) string {
+	switch by {
+	case ipsketch.RankByJoinSize:
+		return "join_size"
+	case ipsketch.RankByAbsCorrelation:
+		return "abs_correlation"
+	case ipsketch.RankByAbsInnerProduct:
+		return "abs_inner_product"
+	}
+	return fmt.Sprintf("RankBy(%d)", int(by))
+}

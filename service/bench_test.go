@@ -1,0 +1,63 @@
+package service_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/service"
+	"repro/service/client"
+)
+
+// benchServer loads a 128-table catalog behind a real HTTP listener.
+func benchServer(b *testing.B) (service.TablePayload, map[string]service.TablePayload, *client.Client) {
+	b.Helper()
+	_, cl := newTestServer(b, service.Config{})
+	query, lake := lakePayloads(b, 128)
+	ctx := context.Background()
+	for name, p := range lake {
+		if _, err := cl.PutTable(ctx, name, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return query, lake, cl
+}
+
+// BenchmarkServiceSearch measures end-to-end /search latency over a real
+// HTTP connection: JSON query columns in, server-side sketching, sharded
+// top-10 search, JSON ranking out.
+func BenchmarkServiceSearch(b *testing.B) {
+	query, _, cl := benchServer(b)
+	ctx := context.Background()
+	k := 10
+	req := service.SearchRequest{Table: &query, Column: "v", RankBy: "join_size", K: &k}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Search(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServiceIngest measures end-to-end PUT /tables latency: JSON
+// columns in, pooled-builder sketching, catalog publish. Each table
+// ingests a key vector plus value and squared-value vectors per column.
+func BenchmarkServiceIngest(b *testing.B) {
+	_, lake, cl := benchServer(b)
+	ctx := context.Background()
+	names := make([]string, 0, len(lake))
+	for name := range lake {
+		names = append(names, name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := names[i%len(names)]
+		if _, err := cl.PutTable(ctx, name, lake[name]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(3*b.N)/b.Elapsed().Seconds(), "vecs/s")
+}

@@ -1,0 +1,172 @@
+// Package client is a small Go client for the sketchd HTTP API (the
+// service package): typed wrappers over the endpoints, sharing the wire
+// types so decoded results convert losslessly back to library values.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	ipsketch "repro"
+	"repro/service"
+)
+
+// Client talks to one sketchd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:7207"). The default http.Client is used unless
+// overridden with SetHTTPClient.
+func New(baseURL string) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	}
+	return &Client{base: strings.TrimRight(u.String(), "/"), hc: http.DefaultClient}, nil
+}
+
+// SetHTTPClient overrides the underlying HTTP client (timeouts, transport).
+func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
+// do issues one request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e service.ErrorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// doJSON marshals body as JSON and issues the request.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	enc, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, method, path, "application/json", enc, out)
+}
+
+// PutTable ingests raw columns; the daemon sketches them server-side.
+func (c *Client) PutTable(ctx context.Context, name string, payload service.TablePayload) (service.PutResponse, error) {
+	var out service.PutResponse
+	err := c.doJSON(ctx, http.MethodPut, "/tables/"+url.PathEscape(name), payload, &out)
+	return out, err
+}
+
+// PutSketch ingests a pre-built table sketch bundle under name.
+func (c *Client) PutSketch(ctx context.Context, name string, tsk *ipsketch.TableSketch) (service.PutResponse, error) {
+	var out service.PutResponse
+	blob, err := tsk.MarshalBinary()
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodPut, "/tables/"+url.PathEscape(name), "application/octet-stream", blob, &out)
+	return out, err
+}
+
+// DeleteTable removes a table; Removed reports whether it existed.
+func (c *Client) DeleteTable(ctx context.Context, name string) (bool, error) {
+	var out service.DeleteResponse
+	err := c.do(ctx, http.MethodDelete, "/tables/"+url.PathEscape(name), "", nil, &out)
+	return out.Removed, err
+}
+
+// Search ranks the catalog against the request's query column.
+func (c *Client) Search(ctx context.Context, req service.SearchRequest) ([]ipsketch.SearchResult, error) {
+	var out service.SearchResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/search", req, &out); err != nil {
+		return nil, err
+	}
+	results := make([]ipsketch.SearchResult, len(out.Results))
+	for i, h := range out.Results {
+		results[i] = h.Result()
+	}
+	return results, nil
+}
+
+// SearchSketch is Search with a locally pre-built query sketch, so the
+// query columns never leave the client.
+func (c *Client) SearchSketch(ctx context.Context, qSk *ipsketch.TableSketch, column string, by ipsketch.RankBy, minJoinSize float64, k int) ([]ipsketch.SearchResult, error) {
+	blob, err := qSk.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	req := service.SearchRequest{
+		SketchB64: base64.StdEncoding.EncodeToString(blob),
+		Column:    column,
+		RankBy:    service.RankByName(by),
+		MinJoin:   minJoinSize,
+	}
+	if k >= 0 {
+		req.K = &k
+	}
+	return c.Search(ctx, req)
+}
+
+// Estimate returns the pairwise join statistics of two cataloged tables.
+func (c *Client) Estimate(ctx context.Context, req service.EstimateRequest) (ipsketch.JoinStats, error) {
+	var out service.EstimateResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/estimate", req, &out); err != nil {
+		return ipsketch.JoinStats{}, err
+	}
+	return out.Stats.Stats(), nil
+}
+
+// Snapshot asks the daemon to persist its catalog.
+func (c *Client) Snapshot(ctx context.Context) (service.SnapshotResponse, error) {
+	var out service.SnapshotResponse
+	err := c.do(ctx, http.MethodPost, "/snapshot", "", nil, &out)
+	return out, err
+}
+
+// Health returns the daemon's liveness report.
+func (c *Client) Health(ctx context.Context) (service.HealthResponse, error) {
+	var out service.HealthResponse
+	err := c.do(ctx, http.MethodGet, "/healthz", "", nil, &out)
+	return out, err
+}
+
+// Stats returns the daemon's counters and configuration.
+func (c *Client) Stats(ctx context.Context) (service.StatsResponse, error) {
+	var out service.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/statsz", "", nil, &out)
+	return out, err
+}

@@ -1,0 +1,458 @@
+package service
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ipsketch "repro"
+	"repro/internal/catalog"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Sketch is the sketcher configuration every cataloged table shares.
+	Sketch ipsketch.Config
+	// KeySpace is the table key-domain size (0 = ipsketch.DefaultKeySpace).
+	KeySpace uint64
+	// Shards is the catalog stripe count (0 = catalog.DefaultShards).
+	Shards int
+	// Lax disables the catalog's eager compatibility check. The server
+	// sketches ingested columns itself, so the check only matters for
+	// pre-built sketch uploads — strict is the safe default.
+	Lax bool
+	// SnapshotPath enables POST /snapshot and boot/shutdown persistence.
+	SnapshotPath string
+	// IngestLimit and SearchLimit bound the in-flight requests per
+	// endpoint group (0 = 2×GOMAXPROCS). Excess requests queue until a
+	// slot frees or the client gives up.
+	IngestLimit, SearchLimit int
+	// MaxBodyBytes bounds request bodies (0 = 256 MiB).
+	MaxBodyBytes int64
+}
+
+// Server serves a sketch catalog over HTTP. Create with New, mount
+// Handler.
+type Server struct {
+	cfg      Config
+	cat      *catalog.Catalog
+	sketcher *ipsketch.TableSketcher
+	builders sync.Pool // *ipsketch.TableSketchBuilder
+	mux      *http.ServeMux
+	start    time.Time
+
+	ingestSem, searchSem chan struct{}
+
+	puts, deletes, searches, estimates, snapshots, errs atomic.Int64
+	lastSnapshotUnixNano                                atomic.Int64
+}
+
+// New validates the configuration and returns a server with an empty
+// catalog.
+func New(cfg Config) (*Server, error) {
+	sketcher, err := ipsketch.NewTableSketcher(cfg.Sketch, cfg.KeySpace)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = ipsketch.DefaultKeySpace
+	}
+	if cfg.IngestLimit <= 0 {
+		cfg.IngestLimit = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.SearchLimit <= 0 {
+		cfg.SearchLimit = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 256 << 20
+	}
+	s := &Server{
+		cfg:       cfg,
+		cat:       catalog.New(catalog.Options{Shards: cfg.Shards, Strict: !cfg.Lax}),
+		sketcher:  sketcher,
+		start:     time.Now(),
+		ingestSem: make(chan struct{}, cfg.IngestLimit),
+		searchSem: make(chan struct{}, cfg.SearchLimit),
+	}
+	if !cfg.Lax {
+		// Pin the catalog to the server's own configuration up front, so
+		// the very first ingest — including a pre-built bundle upload — is
+		// validated against it instead of silently becoming the pin.
+		ref, err := pinSketch(sketcher)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.cat.Pin(ref); err != nil {
+			return nil, err
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("PUT /tables/{name}", s.handlePutTable)
+	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDeleteTable)
+	s.mux.HandleFunc("POST /search", s.handleSearch)
+	s.mux.HandleFunc("POST /estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Catalog exposes the underlying catalog (for the daemon's boot-time
+// snapshot load and for tests).
+func (s *Server) Catalog() *catalog.Catalog { return s.cat }
+
+// SaveSnapshot persists the catalog to the configured snapshot path.
+func (s *Server) SaveSnapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return errors.New("service: no snapshot path configured")
+	}
+	if err := s.cat.Save(s.cfg.SnapshotPath); err != nil {
+		return err
+	}
+	s.snapshots.Add(1)
+	s.lastSnapshotUnixNano.Store(time.Now().UnixNano())
+	return nil
+}
+
+// LoadSnapshot restores the catalog from the configured snapshot path,
+// returning the number of tables loaded.
+func (s *Server) LoadSnapshot() (int, error) {
+	if s.cfg.SnapshotPath == "" {
+		return 0, errors.New("service: no snapshot path configured")
+	}
+	return s.cat.Load(s.cfg.SnapshotPath)
+}
+
+// pinSketch builds the reference sketch carrying the server's
+// configuration (a one-key table; only the key sketch's parameters
+// matter for compatibility pinning).
+func pinSketch(ts *ipsketch.TableSketcher) (*ipsketch.TableSketch, error) {
+	tab, err := ipsketch.NewTable("config-pin", []uint64{0}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ts.SketchTable(tab)
+}
+
+// acquire blocks for a concurrency slot until the request dies.
+func (s *Server) acquire(ctx context.Context, sem chan struct{}) error {
+	select {
+	case sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// getBuilder draws a table-sketch builder from the pool (the pool holds
+// construction scratch; the steady-state ingest path allocates only the
+// sketches it returns).
+func (s *Server) getBuilder() (*ipsketch.TableSketchBuilder, error) {
+	if b, ok := s.builders.Get().(*ipsketch.TableSketchBuilder); ok {
+		return b, nil
+	}
+	return s.sketcher.NewBuilder()
+}
+
+func (s *Server) putBuilder(b *ipsketch.TableSketchBuilder) { s.builders.Put(b) }
+
+// writeJSON writes a 2xx JSON response.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.errs.Add(1)
+	}
+}
+
+// writeError writes a JSON error response.
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.errs.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+// buildTable materializes a TablePayload.
+func buildTable(name string, p *TablePayload) (*ipsketch.Table, error) {
+	if p == nil {
+		return nil, errors.New("service: missing table payload")
+	}
+	if (len(p.Keys) == 0) == (len(p.StringKeys) == 0) {
+		return nil, errors.New("service: exactly one of keys or string_keys must be set")
+	}
+	keys := p.Keys
+	if len(p.StringKeys) > 0 {
+		keys = make([]uint64, len(p.StringKeys))
+		for i, k := range p.StringKeys {
+			keys[i] = ipsketch.KeyFromString(k)
+		}
+	}
+	t, err := ipsketch.NewTable(name, keys, p.Columns)
+	if err != nil {
+		return nil, err
+	}
+	if t.HasDuplicateKeys() {
+		if p.Agg == "" {
+			return nil, errors.New("service: table has duplicate keys; set agg to reduce them")
+		}
+		agg, err := parseAgg(p.Agg)
+		if err != nil {
+			return nil, err
+		}
+		if t, err = t.Aggregate(agg); err != nil {
+			return nil, err
+		}
+	} else if p.Agg != "" {
+		if _, err := parseAgg(p.Agg); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// parseAgg maps a wire name to an aggregation.
+func parseAgg(s string) (ipsketch.Agg, error) {
+	switch s {
+	case "sum":
+		return ipsketch.AggSum, nil
+	case "mean":
+		return ipsketch.AggMean, nil
+	case "count":
+		return ipsketch.AggCount, nil
+	case "min":
+		return ipsketch.AggMin, nil
+	case "max":
+		return ipsketch.AggMax, nil
+	case "first":
+		return ipsketch.AggFirst, nil
+	}
+	return 0, fmt.Errorf("service: unknown agg %q", s)
+}
+
+// sketchPayload sketches a raw-columns payload with a pooled builder.
+func (s *Server) sketchPayload(name string, p *TablePayload) (*ipsketch.TableSketch, error) {
+	t, err := buildTable(name, p)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.getBuilder()
+	if err != nil {
+		return nil, err
+	}
+	defer s.putBuilder(b)
+	return b.SketchTable(t)
+}
+
+func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
+	if err := s.acquire(r.Context(), s.ingestSem); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer func() { <-s.ingestSem }()
+	name := r.PathValue("name")
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("service: empty table name"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+	var tsk *ipsketch.TableSketch
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, "application/octet-stream"):
+		// Pre-built serialized sketch bundle; the path name wins.
+		blob, err := io.ReadAll(body)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if tsk, err = ipsketch.UnmarshalTableSketch(blob); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		tsk.Name = name
+	default:
+		var p TablePayload
+		if err := json.NewDecoder(body).Decode(&p); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding table payload: %w", err))
+			return
+		}
+		var err error
+		if tsk, err = s.sketchPayload(name, &p); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if err := s.cat.Put(tsk); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.puts.Add(1)
+	s.writeJSON(w, PutResponse{
+		Table:        tsk.Name,
+		Columns:      tsk.Columns(),
+		StorageWords: Float(tsk.StorageWords()),
+	})
+}
+
+func (s *Server) handleDeleteTable(w http.ResponseWriter, r *http.Request) {
+	if err := s.acquire(r.Context(), s.ingestSem); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer func() { <-s.ingestSem }()
+	name := r.PathValue("name")
+	removed := s.cat.Remove(name)
+	if removed {
+		s.deletes.Add(1)
+	}
+	s.writeJSON(w, DeleteResponse{Table: name, Removed: removed})
+}
+
+// querySketch resolves a search request's query table sketch.
+func (s *Server) querySketch(req *SearchRequest) (*ipsketch.TableSketch, error) {
+	if (req.Table == nil) == (req.SketchB64 == "") {
+		return nil, errors.New("service: exactly one of table or sketch_b64 must be set")
+	}
+	if req.SketchB64 != "" {
+		blob, err := base64.StdEncoding.DecodeString(req.SketchB64)
+		if err != nil {
+			return nil, fmt.Errorf("service: decoding sketch_b64: %w", err)
+		}
+		return ipsketch.UnmarshalTableSketch(blob)
+	}
+	// The query's name only matters for self-exclusion: SearchTopK skips
+	// a cataloged table with the same name. The default (empty) name can
+	// never be cataloged, so an inline query excludes nothing unless the
+	// caller opts in with table_name.
+	return s.sketchPayload(req.TableName, req.Table)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if err := s.acquire(r.Context(), s.searchSem); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer func() { <-s.searchSem }()
+	var req SearchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding search request: %w", err))
+		return
+	}
+	by, err := ParseRankBy(req.RankBy)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Column == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("service: missing query column"))
+		return
+	}
+	qSk, err := s.querySketch(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := -1
+	if req.K != nil {
+		k = *req.K
+	}
+	results, err := s.cat.SearchTopK(qSk, req.Column, by, req.MinJoin, k)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.searches.Add(1)
+	hits := make([]SearchHit, len(results))
+	for i, r := range results {
+		hits[i] = hitFromResult(r)
+	}
+	s.writeJSON(w, SearchResponse{Results: hits})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if err := s.acquire(r.Context(), s.searchSem); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer func() { <-s.searchSem }()
+	var req EstimateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding estimate request: %w", err))
+		return
+	}
+	a, ok := s.cat.Get(req.TableA)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: table %q not cataloged", req.TableA))
+		return
+	}
+	b, ok := s.cat.Get(req.TableB)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: table %q not cataloged", req.TableB))
+		return
+	}
+	st, err := ipsketch.EstimateJoinStats(a, req.ColumnA, b, req.ColumnB)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.estimates.Add(1)
+	s.writeJSON(w, EstimateResponse{Stats: statsToJSON(st)})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if err := s.acquire(r.Context(), s.ingestSem); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer func() { <-s.ingestSem }()
+	if s.cfg.SnapshotPath == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("service: no snapshot path configured"))
+		return
+	}
+	if err := s.SaveSnapshot(); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, SnapshotResponse{Path: s.cfg.SnapshotPath, Tables: s.cat.Len()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, HealthResponse{Status: "ok", Tables: s.cat.Len()})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Tables:        s.cat.Len(),
+		Shards:        s.cat.Shards(),
+		ShardSizes:    s.cat.ShardSizes(),
+		Method:        s.cfg.Sketch.Method.String(),
+		StorageWords:  s.cfg.Sketch.StorageWords,
+		KeySpace:      s.cfg.KeySpace,
+		Strict:        !s.cfg.Lax,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Puts:          s.puts.Load(),
+		Deletes:       s.deletes.Load(),
+		Searches:      s.searches.Load(),
+		Estimates:     s.estimates.Load(),
+		Snapshots:     s.snapshots.Load(),
+		Errors:        s.errs.Load(),
+		SnapshotPath:  s.cfg.SnapshotPath,
+	}
+	if ns := s.lastSnapshotUnixNano.Load(); ns != 0 {
+		resp.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
+	s.writeJSON(w, resp)
+}

@@ -76,6 +76,14 @@ type TableSketch struct {
 // (all columns when none are named). The table must have unique keys;
 // aggregate first otherwise.
 func (ts *TableSketcher) SketchTable(t *Table, cols ...string) (*TableSketch, error) {
+	return ts.sketchTableWith(t, ts.s.Sketch, cols)
+}
+
+// sketchTableWith is the shared body of SketchTable and
+// TableSketchBuilder.SketchTable, parameterized by the per-vector
+// construction path (one-shot Sketch, which may parallelize internally,
+// or a reused builder's serial scratch — both produce identical sketches).
+func (ts *TableSketcher) sketchTableWith(t *Table, sketch func(Vector) (*Sketch, error), cols []string) (*TableSketch, error) {
 	if len(cols) == 0 {
 		cols = t.ColumnNames()
 	}
@@ -83,7 +91,7 @@ func (ts *TableSketcher) SketchTable(t *Table, cols ...string) (*TableSketch, er
 	if err != nil {
 		return nil, err
 	}
-	keySk, err := ts.s.Sketch(ki)
+	keySk, err := sketch(ki)
 	if err != nil {
 		return nil, err
 	}
@@ -103,14 +111,45 @@ func (ts *TableSketcher) SketchTable(t *Table, cols ...string) (*TableSketch, er
 		if err != nil {
 			return nil, err
 		}
-		if out.val[c], err = ts.s.Sketch(v); err != nil {
+		if out.val[c], err = sketch(v); err != nil {
 			return nil, err
 		}
-		if out.sqVal[c], err = ts.s.Sketch(sq); err != nil {
+		if out.sqVal[c], err = sketch(sq); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// TableSketchBuilder sketches tables one at a time with reusable
+// construction scratch, like the batch engine's per-worker builders: the
+// steady state allocates only the returned sketch bundles. A builder is
+// single-goroutine; concurrent ingest paths (e.g. the serving layer) keep
+// a pool of them and draw one per request.
+type TableSketchBuilder struct {
+	ts *TableSketcher
+	b  builder
+}
+
+// NewBuilder returns a fresh table-sketch builder for the sketcher's
+// configuration. Its output is identical to SketchTable's.
+func (ts *TableSketcher) NewBuilder() (*TableSketchBuilder, error) {
+	b, err := ts.s.be.newBuilder(ts.s.cfg, ts.s.size)
+	if err != nil {
+		return nil, err
+	}
+	return &TableSketchBuilder{ts: ts, b: b}, nil
+}
+
+// SketchTable sketches the table with the builder's reused scratch.
+func (tb *TableSketchBuilder) SketchTable(t *Table, cols ...string) (*TableSketch, error) {
+	return tb.ts.sketchTableWith(t, func(v Vector) (*Sketch, error) {
+		p, err := tb.b.sketch(v)
+		if err != nil {
+			return nil, err
+		}
+		return &Sketch{method: tb.ts.s.cfg.Method, payload: p}, nil
+	}, cols)
 }
 
 // Columns returns the sketched column names in sorted order (so catalog
@@ -122,6 +161,24 @@ func (tsk *TableSketch) Columns() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// KeySpace returns the key-domain size the bundle was sketched under.
+func (tsk *TableSketch) KeySpace() uint64 { return tsk.keySpace }
+
+// CompatibleWith reports why this sketch bundle cannot be compared with
+// other — key-space mismatch or incomparable key sketches (method, size,
+// seed, or variant) — or nil when EstimateJoinStats would accept the pair.
+// All sketches of a bundle come from one sketcher, so checking the key
+// sketches is sufficient.
+func (tsk *TableSketch) CompatibleWith(other *TableSketch) error {
+	if tsk == nil || other == nil {
+		return errors.New("ipsketch: nil table sketch")
+	}
+	if tsk.keySpace != other.keySpace {
+		return fmt.Errorf("ipsketch: key space mismatch %d vs %d", tsk.keySpace, other.keySpace)
+	}
+	return Compatible(tsk.key, other.key)
 }
 
 // StorageWords returns the total size of the sketch bundle.
