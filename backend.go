@@ -105,6 +105,13 @@ type fastHashable interface {
 	fastHashable()
 }
 
+// dartHashable is implemented by backends that honor Config.Dart;
+// Config.Validate rejects the flag for any other method instead of
+// silently ignoring it.
+type dartHashable interface {
+	dartHashable()
+}
+
 // backends is the registry, indexed by Method. Each backend file populates
 // its slot from init; Methods() and the numMethods sentinel stay the
 // single source of truth for how many slots exist.

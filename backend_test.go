@@ -66,6 +66,7 @@ func TestEstimateRejectsIncompatibleSketchers(t *testing.T) {
 			}
 			if m == MethodWMH {
 				bad["fasthash variant"] = Config{Method: m, StorageWords: budget, Seed: 1, FastHash: true}
+				bad["dart variant"] = Config{Method: m, StorageWords: budget, Seed: 1, Dart: true}
 				bad["quantize variant"] = Config{Method: m, StorageWords: budget, Seed: 1, Quantize: true}
 				bad["discretization"] = Config{Method: m, StorageWords: budget, Seed: 1, L: 1 << 20}
 			}
@@ -189,6 +190,19 @@ func TestQuantizableCapability(t *testing.T) {
 		if gotOK := errF == nil; gotOK != want {
 			t.Errorf("%v: Validate(FastHash) error=%v, want accepted=%v", m, errF, want)
 		}
+		if _, ok := be.(dartHashable); ok != want {
+			t.Errorf("%v: dartHashable=%v, want %v", m, ok, want)
+		}
+		errD := Config{Method: m, StorageWords: budget, Dart: true}.Validate()
+		if gotOK := errD == nil; gotOK != want {
+			t.Errorf("%v: Validate(Dart) error=%v, want accepted=%v", m, errD, want)
+		}
+	}
+	// The two construction-variant flags select different randomness; a
+	// config asking for both is rejected rather than silently picking one.
+	err := Config{Method: MethodWMH, StorageWords: 60, Dart: true, FastHash: true}.Validate()
+	if err == nil {
+		t.Error("Validate accepted Dart+FastHash")
 	}
 }
 

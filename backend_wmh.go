@@ -113,3 +113,6 @@ func (wmhBackend) quantizable() {}
 
 // fastHashable marks that Config.FastHash is honored.
 func (wmhBackend) fastHashable() {}
+
+// dartHashable marks that Config.Dart is honored.
+func (wmhBackend) dartHashable() {}

@@ -1,6 +1,7 @@
 package ipsketch
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/datagen"
@@ -103,6 +104,51 @@ func TestSketchAllFastHash(t *testing.T) {
 	if _, err := Estimate(fb[0], es); err == nil {
 		t.Fatal("fast sketch comparable with exact sketch")
 	}
+}
+
+// TestSketchAllDart: the Dart config flows through the batch path
+// (bitwise identical to one-at-a-time dart sketches) and produces
+// sketches incompatible with record-process sketches.
+func TestSketchAllDart(t *testing.T) {
+	vs := batchTestVectors(t, 4)
+	dart, err := NewSketcher(Config{Method: MethodWMH, StorageWords: 120, Seed: 7, Dart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewSketcher(Config{Method: MethodWMH, StorageWords: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dart.SketchAll(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vs {
+		ds, err := dart.Sketch(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, single := mustMarshal(t, db[i]), mustMarshal(t, ds)
+		if !bytes.Equal(batch, single) {
+			t.Fatalf("vector %d: dart batch sketch differs from single sketch", i)
+		}
+	}
+	es, err := exact.Sketch(vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Estimate(db[0], es); err == nil {
+		t.Fatal("dart sketch comparable with record-process sketch")
+	}
+}
+
+func mustMarshal(t *testing.T, sk *Sketch) []byte {
+	t.Helper()
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 // TestEstimateManyAndPairs: the parallel estimators must agree exactly

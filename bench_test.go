@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	ipsketch "repro"
+	"repro/internal/cws"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/hashing"
@@ -139,7 +140,23 @@ func benchSketch(b *testing.B, m ipsketch.Method, storage int) {
 	}
 }
 
-func BenchmarkSketch_WMH(b *testing.B)         { benchSketch(b, ipsketch.MethodWMH, 400) }
+func BenchmarkSketch_WMH(b *testing.B) { benchSketch(b, ipsketch.MethodWMH, 400) }
+
+// BenchmarkSketch_WMH_Dart is the dart-throwing construction at the same
+// Params as BenchmarkSketch_WMH — the tentpole speedup of BENCH_4.
+func BenchmarkSketch_WMH_Dart(b *testing.B) {
+	a, _ := paperVectors(b, 0.1)
+	s, err := ipsketch.NewSketcher(ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: 400, Seed: 1, Dart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sketch(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 func BenchmarkSketch_MH(b *testing.B)          { benchSketch(b, ipsketch.MethodMH, 400) }
 func BenchmarkSketch_KMV(b *testing.B)         { benchSketch(b, ipsketch.MethodKMV, 400) }
 func BenchmarkSketch_JL(b *testing.B)          { benchSketch(b, ipsketch.MethodJL, 400) }
@@ -204,10 +221,10 @@ func engineVectors(b *testing.B, n int) []ipsketch.Vector {
 	return out
 }
 
-func benchSketchWMHBatch(b *testing.B, fastHash bool) {
+func benchSketchWMHBatch(b *testing.B, fastHash, dart bool) {
 	vs := engineVectors(b, 8)
 	s, err := ipsketch.NewSketcher(ipsketch.Config{
-		Method: ipsketch.MethodWMH, StorageWords: engineStorage, Seed: 1, FastHash: fastHash,
+		Method: ipsketch.MethodWMH, StorageWords: engineStorage, Seed: 1, FastHash: fastHash, Dart: dart,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -239,8 +256,9 @@ func BenchmarkSketchWMH_Single(b *testing.B) {
 	}
 }
 
-func BenchmarkSketchWMH_Batch(b *testing.B)         { benchSketchWMHBatch(b, false) }
-func BenchmarkSketchWMH_BatchFastHash(b *testing.B) { benchSketchWMHBatch(b, true) }
+func BenchmarkSketchWMH_Batch(b *testing.B)         { benchSketchWMHBatch(b, false, false) }
+func BenchmarkSketchWMH_BatchFastHash(b *testing.B) { benchSketchWMHBatch(b, true, false) }
+func BenchmarkSketchWMH_BatchDart(b *testing.B)     { benchSketchWMHBatch(b, false, true) }
 
 // BenchmarkSketchWMH_Builder is the zero-allocation steady state: one
 // reused builder and destination sketch.
@@ -254,6 +272,27 @@ func BenchmarkSketchWMH_Builder(b *testing.B) {
 	if err := bu.SketchInto(&dst, v); err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bu.SketchInto(&dst, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSketchWMH_BuilderDart is the dart variant's zero-allocation
+// steady state — the serving-layer ingest hot path.
+func BenchmarkSketchWMH_BuilderDart(b *testing.B) {
+	v := engineVectors(b, 1)[0]
+	bu, err := wmh.NewBuilder(wmh.Params{M: 400, Seed: 1, Dart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst wmh.Sketch
+	if err := bu.SketchInto(&dst, v); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := bu.SketchInto(&dst, v); err != nil {
@@ -292,6 +331,28 @@ func BenchmarkSketchICWS_Batch(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(vs)), "ns/vec")
+}
+
+// BenchmarkSketchICWS_Builder is the ICWS allocation/latency regression
+// guard: the warm reusable path at engine scale, allocs reported so a
+// scratch-reuse regression shows up as allocs/op > 0 in BENCH_N.json.
+func BenchmarkSketchICWS_Builder(b *testing.B) {
+	v := engineVectors(b, 1)[0]
+	bu, err := cws.NewBuilder(cws.Params{M: 240, Seed: 1}) // ⇒ (601−1)/2.5 samples
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst cws.Sketch
+	if err := bu.SketchInto(&dst, v); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bu.SketchInto(&dst, v); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkEstimateMany_WMH(b *testing.B) {

@@ -39,6 +39,31 @@ func FuzzUnmarshalSketch(f *testing.F) {
 		}
 		f.Add(mk(m, budget))
 	}
+	// The WMH construction variants carry a variant byte; seed one
+	// encoding per variant so mutations explore the byte's neighborhood
+	// (unknown values must reject, known ones must round-trip).
+	for _, cfg := range []Config{
+		{Method: MethodWMH, StorageWords: 32, Seed: 7, FastHash: true},
+		{Method: MethodWMH, StorageWords: 32, Seed: 7, Dart: true},
+	} {
+		v, err := VectorFromMap(1000, map[uint64]float64{1: 2, 30: -4, 999: 0.5})
+		if err != nil {
+			f.Fatal(err)
+		}
+		s, err := NewSketcher(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		sk, err := s.Sketch(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := sk.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{'I', 'P', 'S', 'K', 1, 0})
 	f.Add([]byte{'I', 'P', 'S', 'K', 1, 200, 1, 2, 3})
@@ -115,6 +140,26 @@ func FuzzUnmarshalTableSketch(f *testing.F) {
 	// The first frame of the index envelope is a valid table bundle.
 	frameLen := binary.LittleEndian.Uint32(enc[13:17])
 	f.Add(enc[17 : 17+frameLen])
+	// A dart-variant bundle seeds the fuzzer with the newest WMH variant
+	// byte: flipping it must either decode as a coherent single-variant
+	// bundle or reject — never mix variants silently.
+	dts, err := NewTableSketcher(Config{Method: MethodWMH, StorageWords: 60, Seed: 5, Dart: true}, 1<<16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dtab, err := NewTable("d", []uint64{2, 5, 11}, map[string][]float64{"v": {4, -1, 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	dsk, err := dts.SketchTable(dtab)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dbytes, err := dsk.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dbytes)
 	f.Add([]byte{})
 	f.Add([]byte{'I', 'P', 'S', 'T', 1})
 	f.Add([]byte{'I', 'P', 'S', 'T', 1, 255, 255, 255, 255})

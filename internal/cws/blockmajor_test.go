@@ -26,8 +26,11 @@ func blockMajorTestVector(t testing.TB, seed uint64, nnz int) vector.Sparse {
 	return vector.MustNew(1<<16, idx, vals)
 }
 
-// buildSampleMajor is the pre-refactor loop: per sample, re-derive every
-// entry's stream seed with the full four-word Mix and recompute log(w).
+// buildSampleMajor is the reference loop: per sample, re-derive every
+// entry's stream seed with the full four-word Mix and recompute log(w)
+// per (sample, entry). The key chain and the Ioffe acceptance formula are
+// the generation-2 ones (Mix(seed) → entry → tag → sample, fused
+// exponential), so the entry-major loop must match it bitwise.
 func buildSampleMajor(v vector.Sparse, p Params) *Sketch {
 	s := &Sketch{params: p, dim: v.Dim(), norm: v.Norm()}
 	if v.IsEmpty() {
@@ -45,13 +48,12 @@ func buildSampleMajor(v vector.Sparse, p Params) *Sketch {
 		var bestVal float64
 		v.Range(func(j uint64, val float64) bool {
 			w := val * val / normSq
-			rng := hashing.NewSplitMix64(hashing.Mix(p.Seed, uint64(i), j, 0x696377))
+			rng := hashing.NewSplitMix64(hashing.Mix(p.Seed, j, cwsTag, uint64(i)))
 			r := gamma21(rng)
 			c := gamma21(rng)
 			beta := rng.Float64()
 			t := math.Floor(math.Log(w)/r + beta)
-			y := math.Exp(r * (t - beta))
-			a := c / (y * math.Exp(r))
+			a := c * math.Exp(-r*(t-beta+1))
 			if a < bestA {
 				bestA = a
 				bestJ = j

@@ -69,30 +69,33 @@ func New(v vector.Sparse, p Params) (*Sketch, error) {
 		s.empty = true
 		return s, nil
 	}
-	skeys := sampleKeys(nil, p.Seed, p.M)
 	s.idx = make([]uint64, p.M)
 	s.level = make([]int64, p.M)
 	s.vals = make([]float64, p.M)
 	bestA := make([]float64, p.M)
+	prefix := hashing.Mix(p.Seed)
 	hashing.ParallelChunks(p.M, func(lo, hi int) {
-		fillBlockMajor(s.idx[lo:hi], s.level[lo:hi], s.vals[lo:hi], bestA[lo:hi], skeys[lo:hi], v)
+		fillBlockMajor(s.idx[lo:hi], s.level[lo:hi], s.vals[lo:hi], bestA[lo:hi], lo, prefix, v)
 	})
 	return s, nil
 }
 
-// sampleKeys fills buf with the per-sample Mix-chain prefixes Mix(seed, i).
-func sampleKeys(buf []uint64, seed uint64, m int) []uint64 {
-	return hashing.ChainKeys(buf, hashing.Mix(seed), m)
-}
+// cwsTag separates the ICWS key chain from other sketch families.
+const cwsTag = uint64(0x696377) /* "icw" */
 
-// fillBlockMajor computes a chunk of ICWS samples in entry-major order.
-// Per support entry it hoists the weight, its logarithm, and the stored
-// value out of the sample loop (the sample-major loop recomputed log(w)
-// per (sample, entry)), and derives each pair's stream seed with two
-// Extend steps off the per-sample prefix. Output is bitwise identical to
-// the sample-major loop: the same Ioffe draws in the same order, with ties
-// broken toward the earlier entry either way.
-func fillBlockMajor(idxOut []uint64, level []int64, vals []float64, bestA []float64, skeys []uint64, v vector.Sparse) {
+// fillBlockMajor computes a chunk of ICWS samples in entry-major order,
+// for global sample indices [sample0, sample0+len(bestA)).
+//
+// Per support entry it hoists the weight, its logarithm, the stored value,
+// and the (entry, tag) key prefix out of the sample loop, so each
+// (entry, sample) pair costs a single Extend, one exp, and the two Ioffe
+// Gamma logarithms. Ioffe's acceptance variable is evaluated in fused
+// form: with z = y·e^r = e^{r(t−β+1)}, a = c/z = c·e^{−r(t−β+1)} — one
+// exponential instead of the textbook two. Output is bitwise identical to
+// the sample-major loop over the same chain (see blockmajor_test.go); the
+// chain itself is generation 2 (see serialize.go), keyed
+// Mix(seed) → entry → tag → sample.
+func fillBlockMajor(idxOut []uint64, level []int64, vals []float64, bestA []float64, sample0 int, prefix uint64, v vector.Sparse) {
 	for i := range bestA {
 		bestA[i] = math.Inf(1)
 		idxOut[i] = 0
@@ -101,21 +104,20 @@ func fillBlockMajor(idxOut []uint64, level []int64, vals []float64, bestA []floa
 	}
 	normSq := v.SquaredNorm()
 	nnz := v.NNZ()
-	const tag = uint64(0x696377) /* "icw" */
 	for e := 0; e < nnz; e++ {
 		j, val := v.Entry(e)
 		w := val * val / normSq // real-valued weight, no rounding
 		logW := math.Log(w)
 		sval := sign(val) * math.Sqrt(w)
-		for i := range skeys {
-			rng := hashing.NewSplitMix64(hashing.Extend(hashing.Extend(skeys[i], j), tag))
+		jkey := hashing.Extend(hashing.Extend(prefix, j), cwsTag)
+		for i := range bestA {
+			rng := hashing.NewSplitMix64(hashing.Extend(jkey, uint64(sample0+i)))
 			// Ioffe's construction: r, c ~ Gamma(2,1), β ~ U(0,1).
 			r := gamma21(rng)
 			c := gamma21(rng)
 			beta := rng.Float64()
 			t := math.Floor(logW/r + beta)
-			y := math.Exp(r * (t - beta))
-			a := c / (y * math.Exp(r)) // z = y·e^r, a = c/z
+			a := c * math.Exp(-r*(t-beta+1))
 			if a < bestA[i] {
 				bestA[i] = a
 				idxOut[i] = j
@@ -132,9 +134,9 @@ func fillBlockMajor(idxOut []uint64, level []int64, vals []float64, bestA []floa
 // single-goroutine; run one per worker to use every core. Its sketches are
 // bitwise identical to New's.
 type Builder struct {
-	p     Params
-	skeys []uint64
-	bestA []float64
+	p      Params
+	prefix uint64 // Mix(seed), fixed for the lifetime
+	bestA  []float64
 }
 
 // NewBuilder validates p and returns a reusable sketch builder.
@@ -143,9 +145,9 @@ func NewBuilder(p Params) (*Builder, error) {
 		return nil, err
 	}
 	return &Builder{
-		p:     p,
-		skeys: sampleKeys(nil, p.Seed, p.M),
-		bestA: make([]float64, p.M),
+		p:      p,
+		prefix: hashing.Mix(p.Seed),
+		bestA:  make([]float64, p.M),
 	}, nil
 }
 
@@ -184,7 +186,7 @@ func (b *Builder) SketchInto(dst *Sketch, v vector.Sparse) error {
 		vals = make([]float64, m)
 	}
 	dst.idx, dst.level, dst.vals = idx[:m], level[:m], vals[:m]
-	fillBlockMajor(dst.idx, dst.level, dst.vals, b.bestA, b.skeys, v)
+	fillBlockMajor(dst.idx, dst.level, dst.vals, b.bestA, 0, b.prefix, v)
 	return nil
 }
 

@@ -8,12 +8,21 @@ import (
 	"repro/internal/wire"
 )
 
-// MarshalBinary encodes the sketch. Layout: M, Seed, dim, norm, empty,
-// idx, level, vals.
+// generation tags the construction randomness. ICWS has no variant byte
+// the way WMH does, so any change to the draw sequence bumps this tag:
+// decoding a sketch from a different generation fails loudly instead of
+// silently mis-coordinating with freshly built sketches. Generation 2 is
+// the entry-prefixed key chain with the fused acceptance exponential
+// (see fillBlockMajor); generation 1 was the seed's per-sample chain.
+const generation = 2
+
+// MarshalBinary encodes the sketch. Layout: M, Seed, generation, dim,
+// norm, empty, idx, level, vals.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
 	var w wire.Writer
 	w.U64(uint64(s.params.M))
 	w.U64(s.params.Seed)
+	w.Byte(generation)
 	w.U64(s.dim)
 	w.F64(s.norm)
 	w.Bool(s.empty)
@@ -28,6 +37,7 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
 	m := r.U64()
 	seed := r.U64()
+	gen := r.Byte()
 	dim := r.U64()
 	norm := r.F64()
 	empty := r.Bool()
@@ -36,6 +46,9 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	vals := r.F64s()
 	if err := r.Close(); err != nil {
 		return fmt.Errorf("cws: decoding sketch: %w", err)
+	}
+	if gen != generation {
+		return fmt.Errorf("cws: sketch from construction generation %d; this build only reads generation %d", gen, generation)
 	}
 	p := Params{M: int(m), Seed: seed}
 	if err := p.Validate(); err != nil {

@@ -66,18 +66,26 @@ func TestUnmarshalRejectsBadInput(t *testing.T) {
 	if err := got.UnmarshalBinary(bad); err == nil {
 		t.Fatal("M=0 accepted")
 	}
-	// NaN norm (offset 24..32).
+	// NaN norm (offset 25..33: after M, Seed, generation, dim).
 	bad2 := append([]byte(nil), data...)
-	for i := 24; i < 32; i++ {
+	for i := 25; i < 33; i++ {
 		bad2[i] = 0xFF
 	}
 	if err := got.UnmarshalBinary(bad2); err == nil {
 		t.Fatal("NaN norm accepted")
 	}
-	// Claim empty while carrying samples (offset 32).
+	// Claim empty while carrying samples (offset 33).
 	bad3 := append([]byte(nil), data...)
-	bad3[32] = 1
+	bad3[33] = 1
 	if err := got.UnmarshalBinary(bad3); err == nil {
 		t.Fatal("empty-with-samples accepted")
+	}
+	// A foreign construction generation (offset 16) must be rejected:
+	// its sketches use different randomness and would silently fail to
+	// coordinate with this build's.
+	bad4 := append([]byte(nil), data...)
+	bad4[16] = generation + 1
+	if err := got.UnmarshalBinary(bad4); err == nil {
+		t.Fatal("foreign construction generation accepted")
 	}
 }

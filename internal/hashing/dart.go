@@ -1,0 +1,220 @@
+package hashing
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file implements a dart-throwing weighted-minwise sampler in the
+// spirit of DartMinHash (Christiani, arXiv:2005.11547): instead of running
+// one prefix-minimum record process per (block, sample) pair — O(nnz·m·log L)
+// for a whole sketch — it enumerates, in ONE pass over the blocks, the few
+// "darts" that can possibly be a per-sample minimum, for all m samples at
+// once. The expected dart count is O(m log m) and the pass itself is
+// O(nnz·log L) cheap cell visits, so sketching costs O(nnz + m log m)
+// up to the log-factor of the dyadic cell walk — versus O(nnz·m·log L)
+// for the per-pair record process.
+//
+// # The process
+//
+// PrefixMin models block j as w_j slots, each slot s carrying one iid
+// U(0,1) hash per sample i; sample i's hash is the minimum over all active
+// slots of all blocks. The dart process replaces "one uniform per (slot,
+// sample)" with a Poisson point process over (slot, sample, value) space
+// whose value-axis intensity per slot is
+//
+//	dν(t) = dt/(1−t),  so  ν([0,t]) = −ln(1−t).
+//
+// The void probability of [0,t] for one (slot, sample) is e^{−ν([0,t])} =
+// 1−t, hence the minimum dart value over w slots satisfies
+//
+//	P(min > t) = e^{−w·ν([0,t])} = (1−t)^w,
+//
+// exactly the law of the minimum of w iid U(0,1) — the same marginal
+// PrefixMin produces. Every coordination property follows from the process
+// being a deterministic function of seed-keyed cells (below):
+//
+//   - two parties sharing a block agree on every dart in the common slot
+//     prefix, so for w_a ≤ w_b the minima collide exactly when the larger
+//     party's overall argmin falls inside the shared prefix;
+//   - minima compose: the union of two disjoint slot sets has min equal to
+//     the min of the two set minima, bitwise;
+//   - conditioned on a collision, the argmin block is sampled with
+//     probability proportional to its weight.
+//
+// # Determinism and coordination
+//
+// The slot axis of block j is cut into dyadic cells: cell r covers slots
+// [2^r, 2^{r+1}) (cell 0 is slot 1 alone). The value axis is cut into
+// per-round regions (round k has per-slot measure ν_k = τ·2^k/L, τ the
+// dart budget), and each (cell, round) region into equal-measure slices so
+// no single Poisson mean exceeds poissonMaxMean. The dart count of a slice
+// is Poisson with a mean depending only on (m, L, r, round) — never on the
+// block's weight — and dart positions are drawn from a SplitMix64 stream
+// keyed by (blockKey, round, r). A party with weight w enumerates cells
+// r ≤ ⌊log2 w⌋ and filters darts by slot ≤ w after drawing them, so two
+// parties with different weights consume identical streams and keep exact
+// subsets of each other's darts. That subset relation is the entire
+// coordination argument.
+//
+// The per-sample minimum is only final once every sample has at least one
+// dart: a sample missed by round k (probability e^{−(2^{k+1}−1)τ} each) is
+// retried by round k+1, which doubles the dart budget. dart_test.go
+// property-tests the U(0,1)-minimum marginals, the coordination
+// invariants above, and the fallback rounds under artificially tiny
+// budgets.
+
+// poissonMaxMean caps the Poisson mean of a single slice: e^{−8} ≈ 3.4e−4
+// keeps Knuth's product method exact in float64 and its running time
+// bounded per draw.
+const poissonMaxMean = 8.0
+
+// DefaultDartBudget returns the round-0 expected dart count per sample,
+// τ = ln(m+1)+2. The expected number of samples with no dart after round 0
+// is m·e^{−τ} ≈ 0.14, so the doubled-budget fallback round runs for ~12%
+// of vectors and the expected total work stays below 1.3 rounds.
+func DefaultDartBudget(m int) float64 {
+	return math.Log(float64(m)+1) + 2
+}
+
+// dartCell holds the precomputed constants for one (slot-cell, round)
+// pair: the slice subdivision of the round's value region and the Poisson
+// mean per slice. They depend only on (m, l, r, round), so every party
+// derives identical tables.
+type dartCell struct {
+	slices        int     // equal-measure value slices in this cell
+	sliceNu       float64 // per-slot value measure of one slice
+	expNegLam     float64 // e^{−mean darts per slice}
+	expNegSliceNu float64 // e^{−sliceNu}: advances 1−t across slices
+}
+
+// dartRound holds one value-axis region: rounds ascend the value axis, so
+// any dart from round k is strictly smaller than any dart from round k+1.
+type dartRound struct {
+	oneMinusT float64 // 1 − (region start) = e^{−cumulative ν}
+	cells     []dartCell
+}
+
+// DartProcess throws darts for weighted-minwise sketches with m samples
+// and total slot budget (discretization) l. It owns the precomputed round
+// tables and the dart scratch buffers, so a warm process allocates nothing
+// per ThrowBlock call; like the sketch Builders it is single-goroutine.
+//
+// Two parties coordinate if and only if they use equal (m, l, budget):
+// all three feed the dart randomness.
+type DartProcess struct {
+	m      int
+	l      uint64
+	budget float64
+	rounds []dartRound
+	// scratch returned by ThrowBlock, overwritten per call
+	samples []int32
+	values  []float64
+}
+
+// NewDartProcess returns a process for m samples over slot budget l with
+// the default dart budget.
+func NewDartProcess(m int, l uint64) *DartProcess {
+	return NewDartProcessBudget(m, l, DefaultDartBudget(m))
+}
+
+// NewDartProcessBudget is NewDartProcess with an explicit round-0 dart
+// budget (expected darts per sample). Budgets below the default force
+// frequent fallback rounds; tests use this to exercise the miss path.
+// It panics on non-positive m, l, or budget.
+func NewDartProcessBudget(m int, l uint64, budget float64) *DartProcess {
+	if m <= 0 || l == 0 || !(budget > 0) {
+		panic("hashing: invalid DartProcess parameters")
+	}
+	p := &DartProcess{m: m, l: l, budget: budget}
+	// Rounds 0–2 cover all but e^{−7τ} of vectors; building them eagerly
+	// keeps the warm ThrowBlock path allocation-free even when a miss
+	// triggers a fallback round.
+	for k := 0; k < 3; k++ {
+		p.round(k)
+	}
+	return p
+}
+
+// M returns the per-sketch sample count the process throws darts for.
+func (p *DartProcess) M() int { return p.m }
+
+// round returns the k-th round table, building rounds lazily.
+func (p *DartProcess) round(k int) *dartRound {
+	for len(p.rounds) <= k {
+		i := len(p.rounds)
+		// Round i covers per-slot measure ν_i = τ·2^i/l starting at
+		// cumulative measure τ·(2^i − 1)/l.
+		nu := p.budget * float64(uint64(1)<<uint(i)) / float64(p.l)
+		rd := dartRound{
+			oneMinusT: math.Exp(-p.budget * float64(uint64(1)<<uint(i)-1) / float64(p.l)),
+			cells:     make([]dartCell, bits.Len64(p.l)),
+		}
+		for r := range rd.cells {
+			lam := float64(p.m) * float64(uint64(1)<<uint(r)) * nu
+			slices := 1
+			if lam > poissonMaxMean {
+				slices = int(math.Ceil(lam / poissonMaxMean))
+			}
+			sliceNu := nu / float64(slices)
+			rd.cells[r] = dartCell{
+				slices:        slices,
+				sliceNu:       sliceNu,
+				expNegLam:     math.Exp(-lam / float64(slices)),
+				expNegSliceNu: math.Exp(-sliceNu),
+			}
+		}
+		p.rounds = append(p.rounds, rd)
+	}
+	return &p.rounds[k]
+}
+
+// ThrowBlock enumerates the darts of one block (stream key, weight w) in
+// the given round's value region, for every sample at once. It returns
+// parallel slices of sample indices and dart values; both point into
+// scratch owned by the process and are overwritten by the next call. The
+// values all lie inside round k's value region, so they are strictly
+// larger than every round-(k−1) dart and strictly smaller than every
+// round-(k+1) dart — a sample that has any dart after a full round over
+// the blocks is final. It panics if w is 0 or exceeds the slot budget l.
+func (p *DartProcess) ThrowBlock(key uint64, w uint64, round int) (samples []int32, values []float64) {
+	if w == 0 || w > p.l {
+		panic("hashing: ThrowBlock weight out of range")
+	}
+	rd := p.round(round)
+	samples, values = p.samples[:0], p.values[:0]
+	top := bits.Len64(w) - 1 // highest cell: 2^top ≤ w
+	for r := 0; r <= top; r++ {
+		cell := &rd.cells[r]
+		base := uint64(1) << uint(r)
+		mask := base - 1
+		// The cell's stream: count and position draws interleave, but the
+		// sequence is identical for every party (weight enters only
+		// through the slot filter below), so streams never diverge.
+		rng := SplitMix64{state: Extend(Extend(key, uint64(round)), uint64(r))}
+		oneMinusA := rd.oneMinusT
+		for s := 0; s < cell.slices; s++ {
+			// Poisson(λ) darts in this slice, by Knuth's product method.
+			prod := rng.Float64()
+			for prod >= cell.expNegLam {
+				// One dart: slot, sample, then value by inverse CDF of
+				// the 1/(1−t) density restricted to the slice. The draw
+				// sequence is fixed (stream alignment across parties),
+				// but the exp only runs for kept darts. The subtraction
+				// 1−x is exact for x ∈ [1/2, 1] (Sterbenz), so parties
+				// agree on v to the last bit.
+				slot := base + (rng.Uint64() & mask)
+				sample := rng.Uint64n(uint64(p.m))
+				u := rng.Float64()
+				if slot <= w { // partial top cell: reject beyond-w slots
+					samples = append(samples, int32(sample))
+					values = append(values, 1-oneMinusA*math.Exp(-u*cell.sliceNu))
+				}
+				prod *= rng.Float64()
+			}
+			oneMinusA *= cell.expNegSliceNu
+		}
+	}
+	p.samples, p.values = samples, values
+	return samples, values
+}

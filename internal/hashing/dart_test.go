@@ -1,0 +1,259 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+)
+
+// dartMins drives the dart process the way a sketcher does: throw every
+// block per round, keep per-sample minima, and stop once every sample has
+// at least one dart (rounds ascend the value axis, so any dart finalizes
+// its sample).
+func dartMins(p *DartProcess, keys, ws []uint64) []float64 {
+	best := make([]float64, p.M())
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	missing := p.M()
+	for round := 0; missing > 0; round++ {
+		if round > 64 {
+			panic("dartMins: runaway fallback rounds")
+		}
+		for b := range keys {
+			ss, vs := p.ThrowBlock(keys[b], ws[b], round)
+			for d, i := range ss {
+				if vs[d] < best[i] {
+					if math.IsInf(best[i], 1) {
+						missing--
+					}
+					best[i] = vs[d]
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestThrowBlockPanicsOnBadWeight(t *testing.T) {
+	p := NewDartProcess(4, 64)
+	for _, w := range []uint64{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ThrowBlock(w=%d) did not panic", w)
+				}
+			}()
+			p.ThrowBlock(1, w, 0)
+		}()
+	}
+}
+
+func TestThrowBlockDeterministic(t *testing.T) {
+	p := NewDartProcess(64, 1<<12)
+	q := NewDartProcess(64, 1<<12)
+	for key := uint64(0); key < 50; key++ {
+		s1, v1 := p.ThrowBlock(Mix(key), 1+key*80, 0)
+		// Copy: the next ThrowBlock overwrites the scratch.
+		s1c := append([]int32(nil), s1...)
+		v1c := append([]float64(nil), v1...)
+		s2, v2 := q.ThrowBlock(Mix(key), 1+key*80, 0)
+		if len(s1c) != len(s2) {
+			t.Fatalf("key %d: dart counts differ: %d vs %d", key, len(s1c), len(s2))
+		}
+		for d := range s2 {
+			if s1c[d] != s2[d] || v1c[d] != v2[d] {
+				t.Fatalf("key %d dart %d: (%d,%v) vs (%d,%v)", key, d, s1c[d], v1c[d], s2[d], v2[d])
+			}
+		}
+	}
+}
+
+// TestDartRoundZeroCount checks the calibration of the dart budget: the
+// number of darts a full-weight block generates in round 0 is Poisson with
+// mean m·τ (after the top-cell slot filter), which is what makes the whole
+// sketch cost O(m log m) darts.
+func TestDartRoundZeroCount(t *testing.T) {
+	const m = 500
+	const l = 1 << 10
+	p := NewDartProcess(m, l)
+	mean := float64(m) * p.budget
+	const trials = 40
+	total := 0
+	for i := 0; i < trials; i++ {
+		ss, _ := p.ThrowBlock(Mix(uint64(i)), l, 0)
+		total += len(ss)
+	}
+	got := float64(total) / trials
+	tol := 6 * math.Sqrt(mean/trials)
+	if math.Abs(got-mean) > tol {
+		t.Fatalf("round-0 darts per block: mean %.1f, want %.1f±%.1f", got, mean, tol)
+	}
+}
+
+// TestDartMinMarginal checks the per-sample law: the minimum dart value of
+// a vector with total slot weight L is distributed as the minimum of L iid
+// U(0,1) — the same marginal PrefixMin produces. The transform
+// u = 1−(1−v)^L maps it to U(0,1); we check the first two moments.
+func TestDartMinMarginal(t *testing.T) {
+	const m = 2000
+	const l = 1 << 9
+	var sum, sumSq float64
+	n := 0
+	for seed := uint64(0); seed < 5; seed++ {
+		p := NewDartProcess(m, l)
+		// Three blocks with weights summing to l, like a rounded vector.
+		keys := []uint64{Mix(seed, 1), Mix(seed, 2), Mix(seed, 3)}
+		ws := []uint64{l / 2, l / 4, l / 4}
+		for _, v := range dartMins(p, keys, ws) {
+			u := 1 - math.Pow(1-v, l)
+			sum += u
+			sumSq += u * u
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if tol := 6 / math.Sqrt(12*float64(n)); math.Abs(mean-0.5) > tol {
+		t.Errorf("transformed mean %.4f, want 0.5±%.4f", mean, tol)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("transformed variance %.4f, want %.4f", variance, 1.0/12)
+	}
+}
+
+// TestDartSubsetConsistency is the first coordination invariant: a party
+// with a smaller weight for the same block keeps an exact subset of the
+// larger party's darts, so its per-sample minimum is never smaller, and
+// the two minima coincide exactly when the larger party's argmin lies in
+// the shared prefix — with probability wa/wb.
+func TestDartSubsetConsistency(t *testing.T) {
+	const m = 4000
+	const l = 1 << 10
+	const wa, wb = 300, 600
+	pa := NewDartProcess(m, l)
+	pb := NewDartProcess(m, l)
+	key := Mix(0xdab)
+	minsA := dartMins(pa, []uint64{key}, []uint64{wa})
+	minsB := dartMins(pb, []uint64{key}, []uint64{wb})
+	match := 0
+	for i := range minsA {
+		if minsA[i] < minsB[i] {
+			t.Fatalf("sample %d: smaller prefix has smaller min %v < %v", i, minsA[i], minsB[i])
+		}
+		if minsA[i] == minsB[i] {
+			match++
+		}
+	}
+	got := float64(match) / m
+	want := float64(wa) / wb
+	tol := 6 * math.Sqrt(want*(1-want)/m)
+	if math.Abs(got-want) > tol {
+		t.Fatalf("collision rate %.4f, want %.4f±%.4f", got, want, tol)
+	}
+}
+
+// TestDartMinComposition is the second coordination invariant: the minimum
+// over a union of blocks equals the min of the per-block minima, bitwise —
+// the same identity PrefixMin satisfies across prefixes.
+func TestDartMinComposition(t *testing.T) {
+	const m = 600
+	const l = 1 << 10
+	k1, k2 := Mix(7), Mix(8)
+	const w1, w2 = 700, 324
+	m1 := dartMins(NewDartProcess(m, l), []uint64{k1}, []uint64{w1})
+	m2 := dartMins(NewDartProcess(m, l), []uint64{k2}, []uint64{w2})
+	joint := dartMins(NewDartProcess(m, l), []uint64{k1, k2}, []uint64{w1, w2})
+	for i := range joint {
+		if want := math.Min(m1[i], m2[i]); joint[i] != want {
+			t.Fatalf("sample %d: joint min %v != min of parts %v", i, joint[i], want)
+		}
+	}
+}
+
+// TestDartArgminBlockProportional: the probability a given block attains
+// the overall minimum is proportional to its weight (uniform sampling over
+// active slots — Fact 5's conditional law).
+func TestDartArgminBlockProportional(t *testing.T) {
+	const m = 4000
+	const l = 1 << 10
+	const w1, w2 = 256, 768
+	k1, k2 := Mix(21), Mix(22)
+	m1 := dartMins(NewDartProcess(m, l), []uint64{k1}, []uint64{w1})
+	m2 := dartMins(NewDartProcess(m, l), []uint64{k2}, []uint64{w2})
+	wins2 := 0
+	for i := range m1 {
+		if m2[i] < m1[i] {
+			wins2++
+		}
+	}
+	got := float64(wins2) / m
+	want := float64(w2) / (w1 + w2)
+	tol := 6 * math.Sqrt(want*(1-want)/m)
+	if math.Abs(got-want) > tol {
+		t.Fatalf("block-2 win rate %.4f, want %.4f±%.4f", got, want, tol)
+	}
+}
+
+// TestDartFallbackRounds forces the rare-miss path with a deliberately
+// tiny budget: most samples get no round-0 dart and are filled by the
+// doubled-budget fallback rounds; the marginal must stay the min-of-L-
+// uniforms law (mean 1/(L+1)) and coordination must hold across parties
+// that resolve in different rounds.
+func TestDartFallbackRounds(t *testing.T) {
+	const m = 1500
+	const l = 256
+	const budget = 0.05 // expect ~95% of samples to miss round 0
+	key := Mix(0xfa11)
+	p := NewDartProcessBudget(m, l, budget)
+	// Round 0 alone must leave samples missing, or the test is vacuous.
+	ss, _ := p.ThrowBlock(key, l, 0)
+	seen := map[int32]bool{}
+	for _, s := range ss {
+		seen[s] = true
+	}
+	if len(seen) == m {
+		t.Fatalf("budget %v filled every sample in round 0; fallback not exercised", budget)
+	}
+	var sum float64
+	n := 0
+	for seed := uint64(0); seed < 40; seed++ {
+		mins := dartMins(NewDartProcessBudget(m, l, budget), []uint64{Mix(seed, 0xfa11)}, []uint64{l})
+		for _, v := range mins {
+			sum += v
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	want := 1.0 / float64(l+1)
+	tol := 6 * want / math.Sqrt(float64(n))
+	if math.Abs(mean-want) > tol {
+		t.Fatalf("fallback-round mean %.6g, want %.6g±%.2g", mean, want, tol)
+	}
+	// Coordination across rounds: the subset invariant holds even when the
+	// shorter prefix resolves in a later round than the longer one.
+	minsA := dartMins(NewDartProcessBudget(m, l, budget), []uint64{key}, []uint64{l / 8})
+	minsB := dartMins(NewDartProcessBudget(m, l, budget), []uint64{key}, []uint64{l})
+	for i := range minsA {
+		if minsA[i] < minsB[i] {
+			t.Fatalf("sample %d: subset invariant broken across fallback rounds", i)
+		}
+	}
+}
+
+// TestDartThrowBlockZeroAllocs: the warm dart path must not allocate — the
+// sketch builders rely on it.
+func TestDartThrowBlockZeroAllocs(t *testing.T) {
+	p := NewDartProcess(256, 1<<16)
+	key := Mix(3)
+	for round := 0; round < 3; round++ {
+		p.ThrowBlock(key, 1<<15, round) // warm scratch across eager rounds
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		p.ThrowBlock(key, 1<<15, 0)
+		p.ThrowBlock(key, 999, 1)
+		p.ThrowBlock(key, 1<<16, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ThrowBlock allocates %v times per run, want 0", allocs)
+	}
+}

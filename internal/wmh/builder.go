@@ -3,6 +3,7 @@ package wmh
 import (
 	"errors"
 
+	"repro/internal/hashing"
 	"repro/internal/vector"
 )
 
@@ -24,6 +25,10 @@ type Builder struct {
 	idx     []uint64
 	weights []uint64
 	bvals   []float64
+	// dart-variant scratch: the process tables depend on the resolved L,
+	// which can differ across dims, so it is rebuilt when dartL changes.
+	dart  *hashing.DartProcess
+	dartL uint64
 }
 
 // NewBuilder validates p and returns a reusable sketch builder.
@@ -31,7 +36,11 @@ func NewBuilder(p Params) (*Builder, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Builder{p: p, skeys: sampleKeys(nil, p.Seed, p.M)}, nil
+	b := &Builder{p: p}
+	if !p.Dart {
+		b.skeys = sampleKeys(nil, p.Seed, p.M)
+	}
+	return b, nil
 }
 
 // Params returns the builder's construction parameters.
@@ -74,6 +83,14 @@ func (b *Builder) SketchInto(dst *Sketch, v vector.Sparse) error {
 		vals = make([]float64, m)
 	}
 	dst.hashes, dst.vals = hashes[:m], vals[:m]
+	if vr == variantDart {
+		if b.dart == nil || b.dartL != l {
+			b.dart = newDartProcess(m, l)
+			b.dartL = l
+		}
+		fillDart(dst.hashes, dst.vals, b.p.Seed, b.idx, b.weights, b.bvals, b.dart)
+		return nil
+	}
 	fillBlockMajor(dst.hashes, dst.vals, b.skeys, b.idx, b.weights, b.bvals, vr)
 	return nil
 }

@@ -171,26 +171,38 @@ func TestBuilderScratchReuseAcrossVectors(t *testing.T) {
 	}
 }
 
-// TestSketchIntoZeroAllocs: the warm Builder path must not allocate.
+// TestSketchIntoZeroAllocs: the warm Builder path must not allocate, for
+// every construction variant (the dart variant's process tables and dart
+// scratch are owned by the Builder and reused across calls).
 func TestSketchIntoZeroAllocs(t *testing.T) {
 	vs := testVectors(t)
 	v := vs[len(vs)-1]
-	p := Params{M: 64, Seed: 5, L: 1 << 20}
-	b, err := NewBuilder(p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var dst Sketch
-	if err := b.SketchInto(&dst, v); err != nil { // warm-up
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(20, func() {
-		if err := b.SketchInto(&dst, v); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("warm SketchInto allocates %v times per run, want 0", allocs)
+	for _, tc := range []struct {
+		name string
+		p    Params
+	}{
+		{"fast", Params{M: 64, Seed: 5, L: 1 << 20}},
+		{"fastlog", Params{M: 64, Seed: 5, L: 1 << 20, FastLog: true}},
+		{"dart", Params{M: 64, Seed: 5, L: 1 << 20, Dart: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := NewBuilder(tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dst Sketch
+			if err := b.SketchInto(&dst, v); err != nil { // warm-up
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := b.SketchInto(&dst, v); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("warm SketchInto allocates %v times per run, want 0", allocs)
+			}
+		})
 	}
 }
 

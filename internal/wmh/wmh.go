@@ -70,6 +70,15 @@ type Params struct {
 	// is part of sketch compatibility: FastLog sketches use different
 	// randomness and cannot be compared with exact-log sketches.
 	FastLog bool
+	// Dart selects the dart-throwing construction (DartMinHash-style; see
+	// dart.go): all M samples are filled in one pass over the rounded
+	// blocks at expected O(nnz + M log M) cost, instead of one record
+	// process per (block, sample) pair at O(nnz·M·log L). The per-sample
+	// law is identical to the default construction — same marginals, same
+	// collision probabilities, same estimator — but the randomness is
+	// different, so dart sketches are comparable only with dart sketches.
+	// Mutually exclusive with FastLog.
+	Dart bool
 }
 
 // Validate reports whether the parameters are usable.
@@ -79,6 +88,9 @@ func (p Params) Validate() error {
 	}
 	if p.L > MaxL {
 		return fmt.Errorf("wmh: L=%d exceeds MaxL=%d", p.L, MaxL)
+	}
+	if p.Dart && p.FastLog {
+		return errors.New("wmh: Dart and FastLog are mutually exclusive")
 	}
 	return nil
 }
@@ -102,12 +114,17 @@ const (
 	variantNaive
 	// variantFastLog is the polynomial-log record process (Params.FastLog).
 	variantFastLog
+	// variantDart is the one-pass dart-throwing construction (Params.Dart).
+	variantDart
 )
 
 // variantFor resolves the construction variant implied by p.
 func (p Params) variantFor(naive bool) variant {
 	if naive {
 		return variantNaive
+	}
+	if p.Dart {
+		return variantDart
 	}
 	if p.FastLog {
 		return variantFastLog
@@ -144,6 +161,9 @@ func NewNaive(v vector.Sparse, p Params) (*Sketch, error) {
 	if p.FastLog {
 		return nil, errors.New("wmh: FastLog does not apply to the naive construction")
 	}
+	if p.Dart {
+		return nil, errors.New("wmh: Dart does not apply to the naive construction")
+	}
 	return build(v, p, variantNaive)
 }
 
@@ -159,9 +179,15 @@ func build(v vector.Sparse, p Params, vr variant) (*Sketch, error) {
 	}
 	idx, weights := Round(v, l)
 	vals := roundedValues(nil, v, idx, weights, l, p.QuantizeValues)
-	skeys := sampleKeys(nil, p.Seed, p.M)
 	s.hashes = make([]float64, p.M)
 	s.vals = make([]float64, p.M)
+	if vr == variantDart {
+		// One dart pass serves every sample; see dart.go for why this
+		// path is not chunked across workers.
+		fillDart(s.hashes, s.vals, p.Seed, idx, weights, vals, newDartProcess(p.M, l))
+		return s, nil
+	}
+	skeys := sampleKeys(nil, p.Seed, p.M)
 	// Samples are independent; split them across workers in contiguous
 	// chunks. Determinism is preserved because each sample's randomness is
 	// keyed by its own index, not by shared stream state.
@@ -332,7 +358,7 @@ func compatible(a, b *Sketch) error {
 		return fmt.Errorf("wmh: discretization mismatch %d vs %d", a.l, b.l)
 	}
 	if a.variant != b.variant {
-		return errors.New("wmh: cannot mix fast and naive sketches")
+		return errors.New("wmh: cannot mix sketches from different construction variants")
 	}
 	return nil
 }

@@ -19,6 +19,12 @@ import (
 // Regenerate with `go test -run TestGoldenSketches -update` ONLY when a
 // new method is added (new methods add files; existing files must never
 // change) or the envelope version is deliberately bumped.
+//
+// Deliberate bumps so far: icws.golden when the ICWS construction moved
+// to generation 2 (entry-prefixed key chain + fused acceptance
+// exponential); the payload gained a generation byte precisely so that
+// pre-bump sketches are rejected at decode instead of silently failing
+// to coordinate.
 
 var updateGolden = flag.Bool("update", false, "rewrite golden sketch files")
 
@@ -83,6 +89,10 @@ func goldenCases() []struct {
 			name string
 			cfg  Config
 		}{"wmh-fasthash", Config{Method: MethodWMH, StorageWords: 64, Seed: 12345, FastHash: true}},
+		struct {
+			name string
+			cfg  Config
+		}{"wmh-dart", Config{Method: MethodWMH, StorageWords: 64, Seed: 12345, Dart: true}},
 	)
 	return cases
 }
