@@ -91,6 +91,37 @@ type errorBounder interface {
 	estimateWithBound(a, b payload) (estimate, errScale float64, err error)
 }
 
+// merger is implemented by backends whose sketches can be merged: the
+// merge of two payloads summarizes the union (min-based families) or sum
+// (linear families) of the sketched vectors. Dispatch runs compatible
+// before merge, mirroring estimate.
+type merger interface {
+	merge(a, b payload) (payload, error)
+}
+
+// shardSketcher is implemented by backends whose construction normalizes
+// by the vector's own statistics (WMH's rounded blocks, ICWS's weights):
+// mergeable partials of one vector must be built against the parent's
+// normalization, which only a construction-time sharding path can do. The
+// dispatch layer slices the support generically for every other mergeable
+// backend.
+type shardSketcher interface {
+	sketchShards(cfg Config, size int, v Vector, n int) ([]payload, error)
+}
+
+// chunkInvariant is implemented by backends whose shard-and-merge
+// construction is bit-identical to the serial path for EVERY shard count —
+// coordinate-keyed min samplers with no aggregate statistics (MH, KMV).
+// The chunked front end auto-shards only these and the shardSketcher
+// backends (bit-invariant by construction); families whose merged
+// aggregates depend on shard summation order (PS/TS norms, linear rows)
+// would make sketch bytes vary with GOMAXPROCS across replicas, so they
+// stay on the deterministic serial per-vector path unless the caller
+// opts into explicit sharding via SketchShards.
+type chunkInvariant interface {
+	chunkInvariant()
+}
+
 // quantizable is implemented by backends that honor Config.Quantize;
 // Config.Validate rejects the flag for any other method instead of
 // silently ignoring it.

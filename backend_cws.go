@@ -78,6 +78,36 @@ func (cwsBackend) unmarshal(data []byte) (payload, error) {
 	return s, nil
 }
 
+// merge implements merger: per sample, the entry with the smaller
+// reconstructed Ioffe acceptance wins. Partials must share the parent's
+// normalization (sketchShards); cws.Merge rejects unequal stored norms.
+func (cwsBackend) merge(a, b payload) (payload, error) {
+	pa, pb, err := payloadPair[*cws.Sketch](a, b)
+	if err != nil {
+		return nil, err
+	}
+	s, err := cws.Merge(pa, pb)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sketchShards implements shardSketcher: contiguous support shards scored
+// under the parent's norm, so the merged result is bitwise the direct
+// sketch.
+func (be cwsBackend) sketchShards(cfg Config, size int, v Vector, n int) ([]payload, error) {
+	sks, err := cws.Shards(v, be.params(cfg, size), n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]payload, len(sks))
+	for i, sk := range sks {
+		out[i] = sk
+	}
+	return out, nil
+}
+
 // estimateJaccard implements similarityEstimator: the per-sample collision
 // rate estimates the weighted Jaccard similarity exactly as WMH does.
 func (cwsBackend) estimateJaccard(a, b payload) (float64, error) {

@@ -79,6 +79,27 @@ func (kmvBackend) unmarshal(data []byte) (payload, error) {
 	return s, nil
 }
 
+// merge implements merger: the deduplicated union of the retained
+// bottom-k pairs, truncated to the k smallest — exact for disjoint
+// supports, with the merged support size an upper bound under unobserved
+// overlap.
+func (kmvBackend) merge(a, b payload) (payload, error) {
+	pa, pb, err := payloadPair[*kmv.Sketch](a, b)
+	if err != nil {
+		return nil, err
+	}
+	s, err := kmv.Merge(pa, pb)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// chunkInvariant marks that KMV's bottom-k union merge reassembles the
+// serial sketch bitwise for every shard count (hashes are index-keyed;
+// the support counter is an exact integer sum).
+func (kmvBackend) chunkInvariant() {}
+
 // estimateJoinSize implements joinSizeEstimator: the threshold estimate of
 // |A∩B| from matched hashes alone, exact under full retention.
 func (kmvBackend) estimateJoinSize(a, b payload) (float64, error) {

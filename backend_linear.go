@@ -55,6 +55,19 @@ func (jlBackend) estimate(a, b payload) (float64, error) {
 	return linear.EstimateJL(pa, pb)
 }
 
+// merge implements merger: row-wise addition, S(a)+S(b) = S(a+b).
+func (jlBackend) merge(a, b payload) (payload, error) {
+	pa, pb, err := payloadPair[*linear.JLSketch](a, b)
+	if err != nil {
+		return nil, err
+	}
+	s, err := linear.MergeJL(pa, pb)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 func (jlBackend) unmarshal(data []byte) (payload, error) {
 	s := new(linear.JLSketch)
 	if err := s.UnmarshalBinary(data); err != nil {
@@ -110,6 +123,22 @@ func (csBackend) estimate(a, b payload) (float64, error) {
 		return 0, err
 	}
 	return linear.EstimateCountSketch(pa, pb)
+}
+
+// merge implements merger: counter-wise addition, S(a)+S(b) = S(a+b).
+// SimHash deliberately has no merge: quantizing to sign bits destroys
+// additivity, so simHashBackend stays outside the merger capability and
+// Sketch.Merge reports ErrNotMergeable for it.
+func (csBackend) merge(a, b payload) (payload, error) {
+	pa, pb, err := payloadPair[*linear.CSSketch](a, b)
+	if err != nil {
+		return nil, err
+	}
+	s, err := linear.MergeCS(pa, pb)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func (csBackend) unmarshal(data []byte) (payload, error) {

@@ -78,6 +78,25 @@ func (mhBackend) unmarshal(data []byte) (payload, error) {
 	return s, nil
 }
 
+// merge implements merger: union-min over the index-keyed sample hashes —
+// exact for disjoint supports, union semantics for shared indices.
+func (mhBackend) merge(a, b payload) (payload, error) {
+	pa, pb, err := payloadPair[*minhash.Sketch](a, b)
+	if err != nil {
+		return nil, err
+	}
+	s, err := minhash.Merge(pa, pb)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// chunkInvariant marks that MH's union-min merge reassembles the serial
+// sketch bitwise for every shard count (hashes are index-keyed and the
+// sketch carries no aggregate statistics).
+func (mhBackend) chunkInvariant() {}
+
 // estimateJaccard implements similarityEstimator: the collision rate, an
 // unbiased estimate of |A∩B|/|A∪B| (Fact 3).
 func (mhBackend) estimateJaccard(a, b payload) (float64, error) {

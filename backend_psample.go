@@ -81,6 +81,21 @@ func (be psampleBackend) estimate(a, b payload) (float64, error) {
 	return psample.Estimate(pa, pb)
 }
 
+// merge implements merger: the union of the coordinated samples with
+// exact threshold reconciliation (priority re-derives the union's rank
+// threshold; threshold re-filters under the reconciled squared norm).
+func (be psampleBackend) merge(a, b payload) (payload, error) {
+	pa, pb, err := payloadPair[*psample.Sketch](a, b)
+	if err != nil {
+		return nil, err
+	}
+	s, err := psample.Merge(pa, pb)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 func (be psampleBackend) unmarshal(data []byte) (payload, error) {
 	s := new(psample.Sketch)
 	if err := s.UnmarshalBinary(data); err != nil {

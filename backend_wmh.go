@@ -80,6 +80,36 @@ func (wmhBackend) unmarshal(data []byte) (payload, error) {
 	return s, nil
 }
 
+// merge implements merger: union-min over the per-sample record-process
+// minima. Partials must share the parent's normalization (sketchShards);
+// wmh.Merge rejects unequal stored norms.
+func (wmhBackend) merge(a, b payload) (payload, error) {
+	pa, pb, err := payloadPair[*wmh.Sketch](a, b)
+	if err != nil {
+		return nil, err
+	}
+	s, err := wmh.Merge(pa, pb)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sketchShards implements shardSketcher: the vector is rounded once and
+// its blocks partitioned, so every partial carries the parent's
+// normalization and the merged result is bitwise the direct sketch.
+func (wmhBackend) sketchShards(cfg Config, size int, v Vector, n int) ([]payload, error) {
+	sks, err := wmh.Shards(v, cfg.wmhParams(size), n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]payload, len(sks))
+	for i, sk := range sks {
+		out[i] = sk
+	}
+	return out, nil
+}
+
 // estimateWithBound implements errorBounder: the Theorem 2 error scale
 // max(‖a_I‖‖b‖, ‖a‖‖b_I‖)/√m estimated from the sketches themselves.
 func (wmhBackend) estimateWithBound(a, b payload) (float64, float64, error) {

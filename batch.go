@@ -3,6 +3,7 @@ package ipsketch
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/hashing"
 )
@@ -45,14 +46,28 @@ func (s *Sketcher) SketchAll(vs []Vector) ([]*Sketch, error) {
 	return out, nil
 }
 
-// sketchRange sketches vs[lo:hi] with one builder's reused scratch. The
-// returned error is a builder-construction failure; per-vector errors land
-// in errs.
+// getBuilder draws a builder from the sketcher's pool, so construction
+// scratch survives across batch calls instead of being rebuilt per call.
+// Builders are single-goroutine; callers return them with putBuilder when
+// done.
+func (s *Sketcher) getBuilder() (builder, error) {
+	if b, ok := s.pool.Get().(builder); ok {
+		return b, nil
+	}
+	return s.be.newBuilder(s.cfg, s.size)
+}
+
+func (s *Sketcher) putBuilder(b builder) { s.pool.Put(b) }
+
+// sketchRange sketches vs[lo:hi] with one pooled builder's reused scratch.
+// The returned error is a builder-construction failure; per-vector errors
+// land in errs.
 func (s *Sketcher) sketchRange(vs []Vector, out []*Sketch, errs []error, lo, hi int) error {
-	b, err := s.be.newBuilder(s.cfg, s.size)
+	b, err := s.getBuilder()
 	if err != nil {
 		return err
 	}
+	defer s.putBuilder(b)
 	for i := lo; i < hi; i++ {
 		p, err := b.sketch(vs[i])
 		if err != nil {
@@ -62,6 +77,139 @@ func (s *Sketcher) sketchRange(vs []Vector, out []*Sketch, errs []error, lo, hi 
 		out[i], errs[i] = &Sketch{method: s.cfg.Method, payload: p}, nil
 	}
 	return nil
+}
+
+// SketchShards sketches v as n mergeable partial sketches: the support is
+// split into n contiguous coordinate shards, each summarized under the
+// parent vector's global statistics, so MergeAll(shards) reproduces
+// Sketch(v) — bitwise for the min-based families, and up to float
+// summation order of the stored aggregate statistics for the norm-carrying
+// samplers (PS/TS) and the linear sketches. Shards beyond the support size
+// come back empty (the merge identity). Partials are built concurrently
+// across the worker pool; the partials themselves are what a distributed
+// producer pushes to a sketchd /merge endpoint.
+//
+// Methods whose construction normalizes per vector (WMH, ICWS) shard
+// through a dedicated construction path that pins the parent's
+// normalization; everything else sketches the sub-vectors directly with
+// pooled builders. Methods without merge support (SimHash) fail with
+// ErrNotMergeable.
+func (s *Sketcher) SketchShards(v Vector, n int) ([]*Sketch, error) {
+	if n <= 0 {
+		return nil, errors.New("ipsketch: shard count must be positive")
+	}
+	if ss, ok := s.be.(shardSketcher); ok {
+		ps, err := ss.sketchShards(s.cfg, s.size, v, n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*Sketch, len(ps))
+		for i, p := range ps {
+			out[i] = &Sketch{method: s.cfg.Method, payload: p}
+		}
+		return out, nil
+	}
+	if _, ok := s.be.(merger); !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNotMergeable, s.cfg.Method)
+	}
+	out := make([]*Sketch, n)
+	errs := make([]error, n)
+	nnz := v.NNZ()
+	chunk := (nnz + n - 1) / n
+	hashing.ParallelWorkers(n, hashing.Workers(n), func(_, wLo, wHi int) {
+		b, err := s.getBuilder()
+		if err != nil {
+			for w := wLo; w < wHi; w++ {
+				errs[w] = err
+			}
+			return
+		}
+		defer s.putBuilder(b)
+		for w := wLo; w < wHi; w++ {
+			lo := min(w*chunk, nnz)
+			hi := min(lo+chunk, nnz)
+			p, err := b.sketch(v.Shard(lo, hi))
+			if err != nil {
+				errs[w] = err
+				continue
+			}
+			out[w] = &Sketch{method: s.cfg.Method, payload: p}
+		}
+	})
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ipsketch: sketching shard %d: %w", w, err)
+		}
+	}
+	return out, nil
+}
+
+// canChunkVector reports whether intra-vector shard-and-merge is both a
+// win and bit-deterministic for this configuration. Two exclusions:
+//
+//   - Config.Dart: the dart construction is one pass serving every
+//     sample, so a shard covering 1/n of the block weight misses samples
+//     at rate e^{−τ/n} and pays ~log₂(n) doubled-budget fallback rounds,
+//     multiplying total dart work by ~n — the merge stays exact (the
+//     equivalence tests use it), the single pass is just faster.
+//   - Families outside shardSketcher/chunkInvariant (PS/TS, linear):
+//     their merged aggregate statistics are shard-order float sums, so
+//     auto-sharding by GOMAXPROCS would make sketch bytes vary across
+//     hosts — replicas ingesting identical data must agree bitwise.
+func (s *Sketcher) canChunkVector() bool {
+	if s.cfg.Dart {
+		return false
+	}
+	if _, ok := s.be.(shardSketcher); ok {
+		return true
+	}
+	_, ok := s.be.(chunkInvariant)
+	return ok
+}
+
+// SketchChunked sketches one vector with the whole worker pool: the
+// support is split into per-worker shards, the shards are sketched
+// concurrently (SketchShards), and the partials are merged — the one
+// construction axis SketchAll's vector-level fan-out cannot cover. The
+// result is bitwise identical to Sketch(v) regardless of worker count;
+// configurations where sharding would be slower (Dart) or
+// host-dependent (PS/TS, linear — see canChunkVector) fall back to
+// Sketch.
+func (s *Sketcher) SketchChunked(v Vector) (*Sketch, error) {
+	n := hashing.Workers(v.NNZ())
+	if n <= 1 || !s.canChunkVector() {
+		return s.Sketch(v)
+	}
+	shards, err := s.SketchShards(v, n)
+	if err != nil {
+		return nil, err
+	}
+	return MergeAll(shards)
+}
+
+// SketchAllChunked is the bulk-ingest front end over both parallelism
+// axes: batches with at least one vector per worker run through SketchAll
+// (vector-level fan-out with pooled builders already saturates the pool),
+// while smaller batches — a single table bundle's column vectors, or one
+// huge vector — additionally split each vector's support across the pool
+// with SketchChunked and merge the partials, so ingest latency scales
+// with cores end-to-end regardless of batch shape. Configurations
+// SketchChunked would decline (see canChunkVector) take the vector-level
+// fan-out even for small batches, so no shape ever falls to a serial
+// loop. Output is deterministic and identical to the one-at-a-time path.
+func (s *Sketcher) SketchAllChunked(vs []Vector) ([]*Sketch, error) {
+	if len(vs) >= runtime.GOMAXPROCS(0) || !s.canChunkVector() {
+		return s.SketchAll(vs)
+	}
+	out := make([]*Sketch, len(vs))
+	for i, v := range vs {
+		sk, err := s.SketchChunked(v)
+		if err != nil {
+			return nil, fmt.Errorf("ipsketch: sketching vector %d: %w", i, err)
+		}
+		out[i] = sk
+	}
+	return out, nil
 }
 
 // EstimateMany estimates the inner product of one query sketch against

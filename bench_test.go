@@ -12,6 +12,7 @@ package ipsketch_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	ipsketch "repro"
@@ -696,4 +697,145 @@ func log2(x uint64) int {
 		n++
 	}
 	return n
+}
+
+// --- Merge and chunked-ingest micro-benchmarks (BENCH_5) ---
+//
+// benchMerge times the merge hot path per method family: two partial
+// sketches of disjoint halves of the paper workload folded into one.
+// WMH/ICWS partials come from SketchShards (the shard contract); the
+// coordinate-keyed and linear families merge independently built halves.
+
+func benchMerge(b *testing.B, cfg ipsketch.Config) {
+	av, _ := paperVectors(b, 0.1)
+	s, err := ipsketch.NewSketcher(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sa, sb *ipsketch.Sketch
+	switch cfg.Method {
+	case ipsketch.MethodWMH, ipsketch.MethodICWS:
+		shards, err := s.SketchShards(av, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sa, sb = shards[0], shards[1]
+	default:
+		half := av.NNZ() / 2
+		if sa, err = s.Sketch(av.Shard(0, half)); err != nil {
+			b.Fatal(err)
+		}
+		if sb, err = s.Sketch(av.Shard(half, av.NNZ())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sa.Merge(sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge_WMH(b *testing.B) {
+	benchMerge(b, ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: 400, Seed: 1})
+}
+func BenchmarkMerge_WMH_Dart(b *testing.B) {
+	benchMerge(b, ipsketch.Config{Method: ipsketch.MethodWMH, StorageWords: 400, Seed: 1, Dart: true})
+}
+func BenchmarkMerge_MH(b *testing.B) {
+	benchMerge(b, ipsketch.Config{Method: ipsketch.MethodMH, StorageWords: 400, Seed: 1})
+}
+func BenchmarkMerge_KMV(b *testing.B) {
+	benchMerge(b, ipsketch.Config{Method: ipsketch.MethodKMV, StorageWords: 400, Seed: 1})
+}
+func BenchmarkMerge_ICWS(b *testing.B) {
+	benchMerge(b, ipsketch.Config{Method: ipsketch.MethodICWS, StorageWords: 400, Seed: 1})
+}
+func BenchmarkMerge_PS(b *testing.B) {
+	benchMerge(b, ipsketch.Config{Method: ipsketch.MethodPS, StorageWords: 400, Seed: 1})
+}
+func BenchmarkMerge_TS(b *testing.B) {
+	benchMerge(b, ipsketch.Config{Method: ipsketch.MethodTS, StorageWords: 400, Seed: 1})
+}
+func BenchmarkMerge_JL(b *testing.B) {
+	benchMerge(b, ipsketch.Config{Method: ipsketch.MethodJL, StorageWords: 400, Seed: 1})
+}
+func BenchmarkMerge_CountSketch(b *testing.B) {
+	benchMerge(b, ipsketch.Config{Method: ipsketch.MethodCountSketch, StorageWords: 400, Seed: 1})
+}
+
+// benchChunkedIngest times the bulk-ingest front end on a batch of paper
+// vectors. The serial baseline is the same batch through one pooled
+// builder (hi/lo pair: BenchmarkChunkedIngest vs
+// BenchmarkChunkedIngest_Serial shows the end-to-end core scaling in
+// BENCH_5.json; on multi-core hosts the CI gate asserts ≥2×).
+func chunkedIngestBatch(b *testing.B) []ipsketch.Vector {
+	b.Helper()
+	vs := make([]ipsketch.Vector, 32)
+	for i := range vs {
+		av, _, err := datagen.SyntheticPair(datagen.PaperPairParams(0.1, uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		vs[i] = av
+	}
+	return vs
+}
+
+func BenchmarkChunkedIngest_MH(b *testing.B) {
+	vs := chunkedIngestBatch(b)
+	s, err := ipsketch.NewSketcher(ipsketch.Config{Method: ipsketch.MethodMH, StorageWords: 400, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SketchAllChunked(vs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(vs))*float64(b.N)/b.Elapsed().Seconds(), "vecs/s")
+}
+
+func BenchmarkChunkedIngest_MH_Serial(b *testing.B) {
+	vs := chunkedIngestBatch(b)
+	s, err := ipsketch.NewSketcher(ipsketch.Config{Method: ipsketch.MethodMH, StorageWords: 400, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SketchAllChunked(vs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(vs))*float64(b.N)/b.Elapsed().Seconds(), "vecs/s")
+}
+
+// BenchmarkChunkedIngest_TableBundle is the serving-layer shape: one
+// table bundle (three vectors) sketched through SketchTableChunked.
+func BenchmarkChunkedIngest_TableBundle(b *testing.B) {
+	const rows = 2000
+	keys := make([]uint64, rows)
+	vals := make([]float64, rows)
+	for i := range keys {
+		keys[i] = uint64(i*3 + 1)
+		vals[i] = float64(i%13 + 1)
+	}
+	tab, err := ipsketch.NewTable("t", keys, map[string][]float64{"v": vals})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := ipsketch.NewTableSketcher(ipsketch.Config{Method: ipsketch.MethodMH, StorageWords: 400, Seed: 1}, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ts.SketchTableChunked(tab); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

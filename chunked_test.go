@@ -1,0 +1,213 @@
+package ipsketch
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/hashing"
+)
+
+// TestSketchChunkedMatchesSketch: the intra-vector parallel construction
+// path must produce the same sketch as the serial path — byte-identical
+// for every mergeable method but JL (integer-valued vectors make the
+// stored aggregates of PS/TS/CS sum exactly), and trivially for SimHash
+// via its fallback.
+func TestSketchChunkedMatchesSketch(t *testing.T) {
+	v := intTestVector(t, 1<<20, 61, 500)
+	probe := intTestVector(t, 1<<20, 62, 500)
+	cases := mergeableConfigs(96)
+	cases = append(cases, struct {
+		name string
+		cfg  Config
+	}{"simhash", Config{Method: MethodSimHash, StorageWords: 4, Seed: 7}})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSketcher(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := s.Sketch(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chunked, err := s.SketchChunked(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.cfg.Method == MethodJL {
+				probeSk, err := s.Sketch(probe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				estimatesClose(t, tc.name, chunked, direct, probeSk)
+				return
+			}
+			if !bytes.Equal(mustBytes(t, chunked), mustBytes(t, direct)) {
+				t.Fatal("chunked sketch serializes differently from the serial path")
+			}
+		})
+	}
+}
+
+// TestSketchAllChunkedMatchesSketchAll: on batches with at least one
+// vector per worker the chunked front end must hand back exactly the
+// vector-parallel results; on smaller batches it must still agree with
+// the per-vector serial path.
+func TestSketchAllChunkedMatchesSketchAll(t *testing.T) {
+	big := make([]Vector, 2*runtime.GOMAXPROCS(0)+4)
+	for i := range big {
+		big[i] = intTestVector(t, 1<<20, uint64(70+i), 120)
+	}
+	small := big[:2]
+	for _, tc := range mergeableConfigs(64) {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSketcher(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.SketchAll(big)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.SketchAllChunked(big)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if !bytes.Equal(mustBytes(t, got[i]), mustBytes(t, want[i])) {
+					t.Fatalf("large batch: vector %d differs from SketchAll", i)
+				}
+			}
+			gotSmall, err := s.SketchAllChunked(small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range small {
+				direct, err := s.Sketch(small[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tc.cfg.Method == MethodJL {
+					probeSk, err := s.Sketch(small[1-i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					estimatesClose(t, tc.name, gotSmall[i], direct, probeSk)
+					continue
+				}
+				if !bytes.Equal(mustBytes(t, gotSmall[i]), mustBytes(t, direct)) {
+					t.Fatalf("small batch: vector %d differs from Sketch", i)
+				}
+			}
+		})
+	}
+}
+
+// TestChunkedPathIsHostDeterministic: the chunked front end must produce
+// byte-identical sketches to the serial path even for float values whose
+// sums are order-dependent — PS/TS/JL/CS route around intra-vector
+// sharding precisely so replicas with different GOMAXPROCS cannot
+// diverge in the stored aggregates.
+func TestChunkedPathIsHostDeterministic(t *testing.T) {
+	rng := hashing.NewSplitMix64(77)
+	m := map[uint64]float64{}
+	for len(m) < 400 {
+		m[rng.Uint64n(1<<20)] = rng.Norm() // non-associative float values
+	}
+	v, err := VectorFromMap(1<<20, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range mergeableConfigs(96) {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSketcher(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := s.Sketch(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chunked, err := s.SketchChunked(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(mustBytes(t, chunked), mustBytes(t, direct)) {
+				t.Fatal("chunked sketch of float values differs from the serial path")
+			}
+			batch, err := s.SketchAllChunked([]Vector{v, v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range batch {
+				if !bytes.Equal(mustBytes(t, batch[i]), mustBytes(t, direct)) {
+					t.Fatalf("small-batch chunked sketch %d differs from the serial path", i)
+				}
+			}
+		})
+	}
+}
+
+// TestChunkedIngestSpeedupSmoke is the CI perf gate for the chunked
+// ingest path: at GOMAXPROCS=N, SketchAllChunked must be at least 2×
+// faster than the same workload at GOMAXPROCS=1 for a many-vector batch
+// (vector-level fan-out), and measurably faster for a two-vector batch
+// (intra-vector shard fan-out). Opt-in via IPSKETCH_BENCH_SMOKE=1:
+// wall-clock assertions do not belong in the default `go test` run.
+func TestChunkedIngestSpeedupSmoke(t *testing.T) {
+	if os.Getenv("IPSKETCH_BENCH_SMOKE") == "" {
+		t.Skip("set IPSKETCH_BENCH_SMOKE=1 to run the chunked ingest gate")
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 4 || runtime.NumCPU() < 4 {
+		t.Skipf("GOMAXPROCS=%d, NumCPU=%d: the ≥2× gate needs at least 4 real cores", procs, runtime.NumCPU())
+	}
+	run := func(s *Sketcher, vs []Vector) time.Duration {
+		// One warm pass populates builder pools and per-CPU state.
+		if _, err := s.SketchAllChunked(vs); err != nil {
+			t.Fatal(err)
+		}
+		const reps = 3
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := s.SketchAllChunked(vs); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	gate := func(label string, cfg Config, vs []Vector, floor float64) {
+		s, err := NewSketcher(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel := run(s, vs)
+		runtime.GOMAXPROCS(1)
+		serial := run(s, vs)
+		runtime.GOMAXPROCS(procs)
+		speedup := float64(serial) / float64(parallel)
+		t.Logf("%s: serial %v, chunked@%d %v, speedup %.1f×", label, serial, procs, parallel, speedup)
+		if speedup < floor {
+			t.Errorf("%s: chunked ingest only %.2f× faster than serial, want ≥%v×", label, speedup, floor)
+		}
+	}
+	// Many-vector batch: vector-level fan-out must scale ≥2×.
+	batch := make([]Vector, 4*procs)
+	for i := range batch {
+		batch[i] = intTestVector(t, 1<<22, uint64(300+i), 4000)
+	}
+	gate("batch", Config{Method: MethodMH, StorageWords: 400, Seed: 9}, batch, 2)
+	// Two huge vectors: only intra-vector sharding can use the pool.
+	pair := []Vector{
+		intTestVector(t, 1<<24, 501, 120000),
+		intTestVector(t, 1<<24, 502, 120000),
+	}
+	gate("pair", Config{Method: MethodMH, StorageWords: 400, Seed: 9}, pair, 1.5)
+}

@@ -3,7 +3,7 @@
 // perf trajectory: each PR that touches a hot path records before/after
 // numbers in a new report, so regressions are a diff away.
 //
-//	go run ./cmd/benchreport -o BENCH_4.json
+//	go run ./cmd/benchreport -o BENCH_5.json
 //	go run ./cmd/benchreport -bench 'BenchmarkSearch' -benchtime 2s -count 3
 //
 // The default benchmark set covers the sketching engine's hot paths:
@@ -34,10 +34,12 @@ import (
 // BenchmarkSketch_ covers every per-method construction bench including
 // BenchmarkSketch_WMH_Dart; BenchmarkSketchWMH_ the batch/builder WMH
 // paths including the dart variants; BenchmarkSketchICWS_ the ICWS batch
-// and builder (allocation-regression) benches.
+// and builder (allocation-regression) benches; BenchmarkMerge_ the
+// per-family sketch-merge hot paths and BenchmarkChunkedIngest the
+// chunked bulk-ingest front end (parallel vs serial pair).
 const defaultBench = "BenchmarkSketch_|BenchmarkEstimate_|BenchmarkSketchWMH_|" +
 	"BenchmarkSketchMH_Batch|BenchmarkSketchICWS_|BenchmarkEstimateMany_|BenchmarkSearch|" +
-	"BenchmarkCatalog|BenchmarkService"
+	"BenchmarkCatalog|BenchmarkService|BenchmarkMerge_|BenchmarkChunkedIngest"
 
 // defaultPkgs are the packages holding those benchmarks.
 const defaultPkgs = ".,./internal/catalog,./service"
@@ -66,7 +68,7 @@ type Benchmark struct {
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_4.json", "output file ('-' for stdout)")
+		out       = flag.String("o", "BENCH_5.json", "output file ('-' for stdout)")
 		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value; the best run per benchmark is kept")

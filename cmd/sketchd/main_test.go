@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -211,5 +212,85 @@ func TestSketchdRejectsBadFlags(t *testing.T) {
 	err = run(context.Background(), []string{"-storage", "0"}, testWriter{t}, nil)
 	if err == nil {
 		t.Fatal("zero storage accepted")
+	}
+}
+
+// TestSketchdDistributedMerge is the distributed-ingest e2e: two clients
+// each hold a disjoint row partition of every table and push their halves
+// through POST /tables/{name}/merge concurrently; a second daemon gets
+// each table in one PUT. The two catalogs must answer /search
+// bit-exactly the same.
+func TestSketchdDistributedMerge(t *testing.T) {
+	cfgArgs := []string{"-method", "MH", "-storage", "200", "-seed", "13", "-keyspace", "1048576", "-shards", "4"}
+	clMerge, stopMerge := startDaemon(t, cfgArgs...)
+	defer stopMerge()
+	clFull, stopFull := startDaemon(t, cfgArgs...)
+	defer stopFull()
+	ctx := context.Background()
+
+	mkTable := func(seed, rows int) service.TablePayload {
+		keys := make([]uint64, rows)
+		vals := make([]float64, rows)
+		for i := range keys {
+			keys[i] = uint64(i*3 + seed)
+			vals[i] = float64((i*seed)%11 + 1)
+		}
+		return service.TablePayload{Keys: keys, Columns: map[string][]float64{"v": vals}}
+	}
+	split := func(p service.TablePayload) (lo, hi service.TablePayload) {
+		half := len(p.Keys) / 2
+		lo = service.TablePayload{Keys: p.Keys[:half], Columns: map[string][]float64{"v": p.Columns["v"][:half]}}
+		hi = service.TablePayload{Keys: p.Keys[half:], Columns: map[string][]float64{"v": p.Columns["v"][half:]}}
+		return lo, hi
+	}
+
+	tables := map[string]service.TablePayload{
+		"alpha": mkTable(1, 60),
+		"beta":  mkTable(2, 48),
+		"gamma": mkTable(5, 72),
+	}
+	// The two "producers" push their partitions concurrently.
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(tables))
+	for name, p := range tables {
+		lo, hi := split(p)
+		if _, err := clFull.PutTable(ctx, name, p); err != nil {
+			t.Fatal(err)
+		}
+		for _, part := range []service.TablePayload{lo, hi} {
+			wg.Add(1)
+			go func(name string, part service.TablePayload) {
+				defer wg.Done()
+				if _, err := clMerge.MergeTable(ctx, name, part); err != nil {
+					errs <- err
+				}
+			}(name, part)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	query := mkTable(3, 40)
+	for _, rankBy := range []string{"join_size", "abs_inner_product"} {
+		req := service.SearchRequest{Table: &query, Column: "v", RankBy: rankBy}
+		got, err := clMerge.Search(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := clFull.Search(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results via merge, %d via single ingest", rankBy, len(got), len(want))
+		}
+		for i := range want {
+			if !resultsIdentical(got[i], want[i]) {
+				t.Fatalf("%s: rank %d differs:\n merge %+v\n  full %+v", rankBy, i, got[i], want[i])
+			}
+		}
 	}
 }

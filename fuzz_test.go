@@ -3,6 +3,8 @@ package ipsketch
 import (
 	"bytes"
 	"encoding/binary"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -83,6 +85,65 @@ func FuzzUnmarshalSketch(f *testing.F) {
 		}
 		if _, err := Estimate(sk, sk); err != nil {
 			t.Fatalf("decoded sketch failed self-estimate: %v", err)
+		}
+	})
+}
+
+// FuzzMerge: any pair of byte blobs — mixed methods, seeds, sizes,
+// variants, truncated or mutated encodings — must either fail to decode,
+// fail to merge with an error, or merge into a sketch that re-encodes,
+// decodes again, and self-estimates. Never a panic, never an invalid
+// sketch.
+func FuzzMerge(f *testing.F) {
+	// Seed with every golden wire format paired with itself (same-config
+	// merges) and a couple of deliberate mismatches.
+	golden, err := filepath.Glob(filepath.Join("testdata", "golden", "*.golden"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(golden) == 0 {
+		f.Fatal("no golden files to seed the merge fuzzer")
+	}
+	var blobs [][]byte
+	for _, path := range golden {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+		f.Add(blob, blob)
+	}
+	for i := 1; i < len(blobs); i++ {
+		f.Add(blobs[i-1], blobs[i]) // cross-method / cross-variant pairs
+	}
+	f.Add([]byte{}, blobs[0])
+	f.Add(blobs[0][:len(blobs[0])/2], blobs[0])
+
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		a, errA := UnmarshalSketch(da)
+		b, errB := UnmarshalSketch(db)
+		if errA != nil || errB != nil {
+			return // rejection is fine; panics are not
+		}
+		m, err := a.Merge(b)
+		if err != nil {
+			return // error-or-valid: error is the safe half
+		}
+		// Whatever merged must be a fully valid sketch: re-encodable,
+		// re-decodable (the decoder enforces every structural invariant),
+		// and usable by the estimators.
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("merged sketch failed to re-encode: %v", err)
+		}
+		if _, err := UnmarshalSketch(blob); err != nil {
+			t.Fatalf("merged sketch does not satisfy the decoder's invariants: %v", err)
+		}
+		if _, err := Estimate(m, m); err != nil {
+			t.Fatalf("merged sketch failed self-estimate: %v", err)
+		}
+		if _, err := Estimate(m, a); err != nil {
+			t.Fatalf("merged sketch incompatible with its input: %v", err)
 		}
 	})
 }

@@ -159,18 +159,16 @@ func (c *Catalog) checkPin(ts *ipsketch.TableSketch) error {
 	return nil
 }
 
-// Put registers a table sketch, replacing any previous sketch of the same
-// name. Concurrent Puts never lose updates; concurrent readers keep their
-// snapshots.
-func (c *Catalog) Put(ts *ipsketch.TableSketch) error {
+// admit runs the checks shared by Put and Merge: a usable name, envelope
+// serializability (so a catalog that accepted a sketch can always be
+// saved and restored), and the strict configuration pin.
+func (c *Catalog) admit(ts *ipsketch.TableSketch) error {
 	if ts == nil {
 		return errors.New("catalog: nil table sketch")
 	}
 	if ts.Name == "" {
 		return errors.New("catalog: table sketch has an empty name")
 	}
-	// Reject anything the snapshot envelope could not round-trip, so a
-	// catalog that accepted a Put can always be saved and restored.
 	if len(ts.Name) > ipsketch.MaxNameLen {
 		return fmt.Errorf("catalog: table name of %d bytes exceeds the serializable maximum", len(ts.Name))
 	}
@@ -179,12 +177,54 @@ func (c *Catalog) Put(ts *ipsketch.TableSketch) error {
 			return fmt.Errorf("catalog: column name of %d bytes exceeds the serializable maximum", len(col))
 		}
 	}
-	if err := c.checkPin(ts); err != nil {
+	return c.checkPin(ts)
+}
+
+// Put registers a table sketch, replacing any previous sketch of the same
+// name. Concurrent Puts never lose updates; concurrent readers keep their
+// snapshots.
+func (c *Catalog) Put(ts *ipsketch.TableSketch) error {
+	if err := c.admit(ts); err != nil {
 		return err
 	}
 	sh := c.shardFor(ts.Name)
 	sh.writeMu.Lock()
 	defer sh.writeMu.Unlock()
+	return sh.replaceLocked(ts)
+}
+
+// Merge folds a partial table sketch into the cataloged sketch of the
+// same name, creating the entry when absent, and reports whether a merge
+// happened (false means the partial became the first sketch under that
+// name). The read-merge-publish sequence runs under the shard's write
+// mutex, so concurrent partial pushes for one table serialize and never
+// lose updates — the property distributed producers rely on when each
+// pushes its partition's sketch independently.
+func (c *Catalog) Merge(ts *ipsketch.TableSketch) (bool, error) {
+	if err := c.admit(ts); err != nil {
+		return false, err
+	}
+	sh := c.shardFor(ts.Name)
+	sh.writeMu.Lock()
+	defer sh.writeMu.Unlock()
+	old, _ := sh.view()
+	prev, existed := old[ts.Name]
+	if existed {
+		merged, err := prev.Merge(ts)
+		if err != nil {
+			return false, fmt.Errorf("catalog: merging into %q: %w", ts.Name, err)
+		}
+		ts = merged
+	}
+	if err := sh.replaceLocked(ts); err != nil {
+		return false, err
+	}
+	return existed, nil
+}
+
+// replaceLocked publishes a shard state with ts registered under its
+// name; the caller holds the shard's write mutex.
+func (sh *shard) replaceLocked(ts *ipsketch.TableSketch) error {
 	old, _ := sh.view()
 	next := make(map[string]*ipsketch.TableSketch, len(old)+1)
 	for name, sk := range old {

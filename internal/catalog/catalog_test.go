@@ -492,3 +492,146 @@ func TestCatalogPin(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// mergeFixture builds one table partitioned into disjoint row slices plus
+// the full-table sketch, under a coordinate-keyed method (MH) whose
+// partition sketches merge exactly.
+func mergeFixture(t testing.TB, parts int) (ts *ipsketch.TableSketcher, partials []*ipsketch.TableSketch, full *ipsketch.TableSketch) {
+	t.Helper()
+	ts, err := ipsketch.NewTableSketcher(
+		ipsketch.Config{Method: ipsketch.MethodMH, StorageWords: 120, Seed: 11}, fixtureKeySpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 90
+	keys := make([]uint64, rows)
+	vals := make([]float64, rows)
+	for i := range keys {
+		keys[i] = uint64(i*3 + 1)
+		vals[i] = float64(i%7 + 1)
+	}
+	tab, err := ipsketch.NewTable("t", keys, map[string][]float64{"v": vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full, err = ts.SketchTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	chunk := (rows + parts - 1) / parts
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		pt, err := ipsketch.NewTable("t", keys[lo:hi], map[string][]float64{"v": vals[lo:hi]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		partial, err := ts.SketchTable(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, partial)
+	}
+	return ts, partials, full
+}
+
+// TestCatalogMergeMatchesSingleIngest: folding row-partition partials via
+// Merge yields a cataloged sketch byte-identical to putting the
+// full-table sketch directly.
+func TestCatalogMergeMatchesSingleIngest(t *testing.T) {
+	_, partials, full := mergeFixture(t, 3)
+	c := New(Options{Shards: 4, Strict: true})
+	for i, p := range partials {
+		merged, err := c.Merge(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged != (i > 0) {
+			t.Fatalf("partial %d: merged = %v", i, merged)
+		}
+	}
+	got, ok := c.Get("t")
+	if !ok {
+		t.Fatal("merged table missing")
+	}
+	gotBytes, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := full.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBytes) != string(wantBytes) {
+		t.Fatal("catalog merge differs from single ingest")
+	}
+}
+
+// TestCatalogConcurrentMergeNoLostUpdates: concurrent partial pushes for
+// one table must all land — the read-merge-publish sequence serializes
+// under the shard write mutex — and the result must equal the
+// single-ingest sketch regardless of arrival order.
+func TestCatalogConcurrentMergeNoLostUpdates(t *testing.T) {
+	_, partials, full := mergeFixture(t, 8)
+	c := New(Options{Shards: 4, Strict: true})
+	var wg sync.WaitGroup
+	errs := make([]error, len(partials))
+	for i, p := range partials {
+		wg.Add(1)
+		go func(i int, p *ipsketch.TableSketch) {
+			defer wg.Done()
+			_, errs[i] = c.Merge(p)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("partial %d: %v", i, err)
+		}
+	}
+	got, ok := c.Get("t")
+	if !ok {
+		t.Fatal("merged table missing")
+	}
+	gotBytes, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := full.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBytes) != string(wantBytes) {
+		t.Fatal("concurrent merges lost an update or reordered non-commutatively")
+	}
+}
+
+// TestCatalogMergeRespectsPin: a strict catalog rejects partials from an
+// incompatible configuration at merge time, same as Put.
+func TestCatalogMergeRespectsPin(t *testing.T) {
+	_, partials, full := mergeFixture(t, 2)
+	c := New(Options{Shards: 2, Strict: true})
+	if err := c.Pin(full); err != nil {
+		t.Fatal(err)
+	}
+	other, err := ipsketch.NewTableSketcher(
+		ipsketch.Config{Method: ipsketch.MethodMH, StorageWords: 120, Seed: 99}, fixtureKeySpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ipsketch.NewTable("t", []uint64{1, 2}, map[string][]float64{"v": {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := other.SketchTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Merge(bad); err == nil {
+		t.Fatal("pinned catalog accepted an incompatible partial")
+	}
+	if _, err := c.Merge(partials[0]); err != nil {
+		t.Fatal(err)
+	}
+}

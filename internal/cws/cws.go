@@ -74,8 +74,9 @@ func New(v vector.Sparse, p Params) (*Sketch, error) {
 	s.vals = make([]float64, p.M)
 	bestA := make([]float64, p.M)
 	prefix := hashing.Mix(p.Seed)
+	normSq := v.SquaredNorm()
 	hashing.ParallelChunks(p.M, func(lo, hi int) {
-		fillBlockMajor(s.idx[lo:hi], s.level[lo:hi], s.vals[lo:hi], bestA[lo:hi], lo, prefix, v)
+		fillBlockMajor(s.idx[lo:hi], s.level[lo:hi], s.vals[lo:hi], bestA[lo:hi], lo, prefix, v, 0, v.NNZ(), normSq)
 	})
 	return s, nil
 }
@@ -84,7 +85,11 @@ func New(v vector.Sparse, p Params) (*Sketch, error) {
 const cwsTag = uint64(0x696377) /* "icw" */
 
 // fillBlockMajor computes a chunk of ICWS samples in entry-major order,
-// for global sample indices [sample0, sample0+len(bestA)).
+// for global sample indices [sample0, sample0+len(bestA)), over the
+// support entries [eLo, eHi) of v with weights normalized by normSq.
+// Construction passes the vector's own squared norm and full entry range;
+// the shard path (merge.go) passes the parent's norm with a sub-range, so
+// shard samples compete under exactly the parent's weights.
 //
 // Per support entry it hoists the weight, its logarithm, the stored value,
 // and the (entry, tag) key prefix out of the sample loop, so each
@@ -95,16 +100,14 @@ const cwsTag = uint64(0x696377) /* "icw" */
 // the sample-major loop over the same chain (see blockmajor_test.go); the
 // chain itself is generation 2 (see serialize.go), keyed
 // Mix(seed) → entry → tag → sample.
-func fillBlockMajor(idxOut []uint64, level []int64, vals []float64, bestA []float64, sample0 int, prefix uint64, v vector.Sparse) {
+func fillBlockMajor(idxOut []uint64, level []int64, vals []float64, bestA []float64, sample0 int, prefix uint64, v vector.Sparse, eLo, eHi int, normSq float64) {
 	for i := range bestA {
 		bestA[i] = math.Inf(1)
 		idxOut[i] = 0
 		level[i] = 0
 		vals[i] = 0
 	}
-	normSq := v.SquaredNorm()
-	nnz := v.NNZ()
-	for e := 0; e < nnz; e++ {
+	for e := eLo; e < eHi; e++ {
 		j, val := v.Entry(e)
 		w := val * val / normSq // real-valued weight, no rounding
 		logW := math.Log(w)
@@ -186,7 +189,7 @@ func (b *Builder) SketchInto(dst *Sketch, v vector.Sparse) error {
 		vals = make([]float64, m)
 	}
 	dst.idx, dst.level, dst.vals = idx[:m], level[:m], vals[:m]
-	fillBlockMajor(dst.idx, dst.level, dst.vals, b.bestA, 0, b.prefix, v)
+	fillBlockMajor(dst.idx, dst.level, dst.vals, b.bestA, 0, b.prefix, v, 0, v.NNZ(), v.SquaredNorm())
 	return nil
 }
 

@@ -16,6 +16,12 @@ func Merge(a, b *Sketch) (*Sketch, error) {
 		return nil, err
 	}
 	out := &Sketch{params: a.params, dim: a.dim}
+	retain := len(a.hashes) + len(b.hashes)
+	if retain > a.params.K {
+		retain = a.params.K
+	}
+	out.hashes = make([]uint64, 0, retain)
+	out.vals = make([]float64, 0, retain)
 
 	// Merge the two ascending lists, deduplicating shared hashes.
 	shared := 0

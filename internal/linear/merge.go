@@ -1,0 +1,54 @@
+package linear
+
+import "fmt"
+
+// Linear sketches merge by addition: S(a) + S(b) = Π(a + b) for any
+// overlap, because Π is a fixed (seed-derived) linear map. Unlike the
+// min-based families there is no union semantics caveat — shared entries
+// add, exactly as the vectors themselves do. The only float caveat is
+// associativity: the merged rows are sums of per-shard sums, which can
+// differ from the directly-built rows in the last ulp when the entry
+// values are not exactly summable.
+//
+// SimHash is the deliberate exception: quantizing to sign bits destroys
+// additivity (the sign of a sum is not a function of the signs), so it has
+// no merge here and the dispatch layer reports it as not mergeable.
+
+// MergeJL returns the row-wise sum of two JL sketches: the sketch of
+// a + b.
+func MergeJL(a, b *JLSketch) (*JLSketch, error) {
+	if err := CompatibleJL(a, b); err != nil {
+		return nil, err
+	}
+	if len(a.rows) != len(b.rows) {
+		return nil, fmt.Errorf("linear: cannot merge JL sketches with %d vs %d rows", len(a.rows), len(b.rows))
+	}
+	out := &JLSketch{params: a.params, dim: a.dim, rows: make([]float64, len(a.rows))}
+	for r := range a.rows {
+		out.rows[r] = a.rows[r] + b.rows[r]
+	}
+	return out, nil
+}
+
+// MergeCS returns the counter-wise sum of two CountSketches: the sketch of
+// a + b.
+func MergeCS(a, b *CSSketch) (*CSSketch, error) {
+	if err := CompatibleCS(a, b); err != nil {
+		return nil, err
+	}
+	if len(a.rows) != len(b.rows) {
+		return nil, fmt.Errorf("linear: cannot merge CountSketches with %d vs %d repetitions", len(a.rows), len(b.rows))
+	}
+	out := &CSSketch{params: a.params, dim: a.dim, rows: make([][]float64, len(a.rows))}
+	for r := range a.rows {
+		if len(a.rows[r]) != len(b.rows[r]) {
+			return nil, fmt.Errorf("linear: cannot merge CountSketches with %d vs %d buckets in repetition %d", len(a.rows[r]), len(b.rows[r]), r)
+		}
+		row := make([]float64, len(a.rows[r]))
+		for k := range row {
+			row[k] = a.rows[r][k] + b.rows[r][k]
+		}
+		out.rows[r] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package linear
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+// Disjoint integer-valued halves of one vector: the signed sums inside
+// every row/bucket are exact, so additive merges can be compared without
+// tolerance against the directly built sketch.
+func linearMergeFixture(t *testing.T) (full, lo, hi vector.Sparse) {
+	t.Helper()
+	idx := make([]uint64, 50)
+	vals := make([]float64, 50)
+	for i := range idx {
+		idx[i] = uint64(i*i + 3)
+		vals[i] = float64((i%9 + 1))
+		if i%2 == 1 {
+			vals[i] = -vals[i]
+		}
+	}
+	full = vector.MustNew(1<<20, idx, vals)
+	return full, full.Shard(0, 20), full.Shard(20, 50)
+}
+
+func TestMergeJLMatchesSum(t *testing.T) {
+	full, lo, hi := linearMergeFixture(t)
+	p := JLParams{M: 32, Seed: 9}
+	want, err := NewJL(full, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewJL(lo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewJL(hi, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MergeJL(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 1/√m scaling is folded into the stored rows, so distributivity
+	// costs at most one rounding per row: compare to an ulp-scale slack.
+	for r := range want.rows {
+		if d := math.Abs(m.rows[r] - want.rows[r]); d > 1e-12*math.Abs(want.rows[r])+1e-300 {
+			t.Fatalf("row %d: merged %v vs direct %v", r, m.rows[r], want.rows[r])
+		}
+	}
+	est, err := EstimateJL(m, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(est) {
+		t.Fatal("merged sketch estimates NaN")
+	}
+}
+
+func TestMergeCSMatchesSum(t *testing.T) {
+	full, lo, hi := linearMergeFixture(t)
+	p := CSParams{Buckets: 16, Reps: 3, Seed: 9}
+	want, err := NewCountSketch(full, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewCountSketch(lo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCountSketch(hi, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MergeCS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counters are raw signed sums of integer values: exactly equal.
+	for r := range want.rows {
+		for k := range want.rows[r] {
+			if m.rows[r][k] != want.rows[r][k] {
+				t.Fatalf("rep %d bucket %d: merged %v vs direct %v", r, k, m.rows[r][k], want.rows[r][k])
+			}
+		}
+	}
+}
+
+func TestMergeLinearParamMismatch(t *testing.T) {
+	full, lo, _ := linearMergeFixture(t)
+	a, err := NewJL(full, JLParams{M: 32, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewJL(lo, JLParams{M: 32, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeJL(a, b); err == nil {
+		t.Fatal("seed mismatch merged silently")
+	}
+	ca, err := NewCountSketch(full, CSParams{Buckets: 16, Reps: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := NewCountSketch(lo, CSParams{Buckets: 8, Reps: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeCS(ca, cb); err == nil {
+		t.Fatal("bucket mismatch merged silently")
+	}
+}

@@ -1,0 +1,241 @@
+package psample
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+func sketchBytes(t *testing.T, s *Sketch) []byte {
+	t.Helper()
+	b, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// intVector builds a vector with integer-valued entries, so squared norms
+// add associatively and merged sketches can be compared bitwise.
+func intVector(t *testing.T, dim uint64, seed uint64, nnz int) vector.Sparse {
+	t.Helper()
+	rng := hashing.NewSplitMix64(seed)
+	m := map[uint64]float64{}
+	for len(m) < nnz {
+		v := float64(1 + rng.Uint64n(40))
+		if rng.Uint64n(2) == 0 {
+			v = -v
+		}
+		m[rng.Uint64n(dim)] = v
+	}
+	v, err := vector.FromMap(dim, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestMergeVsRebuildDisjoint: for both modes and several split points,
+// independently sketching contiguous support shards and merging must be
+// bitwise identical to sketching the whole vector — priority's threshold
+// reconciliation and threshold's norm re-filtering are exact.
+func TestMergeVsRebuildDisjoint(t *testing.T) {
+	v := intVector(t, 1<<20, 7, 300)
+	for _, mode := range []Mode{Priority, Threshold} {
+		for _, k := range []int{8, 64, 500} { // truncating and SawAll regimes
+			p := Params{K: k, Seed: 3, Mode: mode}
+			direct, err := New(v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sketchBytes(t, direct)
+			for _, parts := range []int{2, 3, 7} {
+				chunk := (v.NNZ() + parts - 1) / parts
+				merged := (*Sketch)(nil)
+				for w := 0; w < parts; w++ {
+					lo := min(w*chunk, v.NNZ())
+					hi := min(lo+chunk, v.NNZ())
+					shard, err := New(v.Shard(lo, hi), p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if merged == nil {
+						merged = shard
+						continue
+					}
+					if merged, err = Merge(merged, shard); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !bytes.Equal(sketchBytes(t, merged), want) {
+					t.Fatalf("%v k=%d parts=%d: merged sketch differs from direct construction", mode, k, parts)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeOverlapUnionSemantics: merging two sketches of the SAME vector
+// must reproduce that vector's sample. Fully retained sketches (SawAll)
+// dedup every shared entry and self-merge bitwise; truncated sketches can
+// only dedup the overlap they observed, so their samples and thresholds
+// still match exactly while the support/norm bookkeeping becomes a safe
+// upper bound (the documented KMV-style contract).
+func TestMergeOverlapUnionSemantics(t *testing.T) {
+	v := intVector(t, 1<<16, 21, 40)
+
+	// Priority, full retention: every entry is observed, so the overlap
+	// dedups completely and self-merge is bitwise idempotent.
+	full, err := New(v, Params{K: 64, Seed: 3, Mode: Priority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(full, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sketchBytes(t, m), sketchBytes(t, full)) {
+		t.Fatal("priority SawAll self-merge changed the sketch")
+	}
+
+	// Priority, truncated: the retained sample and τ still reproduce
+	// exactly; only the support/norm bookkeeping becomes an upper bound
+	// (unretained overlap is unobservable — the KMV-style contract).
+	trunc, err := New(v, Params{K: 16, Seed: 3, Mode: Priority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err = Merge(trunc, trunc); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.idx) != len(trunc.idx) {
+		t.Fatalf("self-merge changed the sample size %d -> %d", len(trunc.idx), len(m.idx))
+	}
+	for i := range m.idx {
+		if m.idx[i] != trunc.idx[i] || m.vals[i] != trunc.vals[i] {
+			t.Fatalf("self-merge changed sample %d", i)
+		}
+	}
+	if math.Float64bits(m.tau) != math.Float64bits(trunc.tau) {
+		t.Fatalf("self-merge changed τ %v -> %v", trunc.tau, m.tau)
+	}
+	if m.nnz < trunc.nnz || m.normSq < trunc.normSq {
+		t.Fatalf("merged bookkeeping undershoots the truth (nnz %d vs %d, normSq %v vs %v)",
+			m.nnz, trunc.nnz, m.normSq, trunc.normSq)
+	}
+
+	// Threshold: unretained overlap inflates the reconciled norm, which
+	// only shrinks inclusion probabilities — the merged sample must be a
+	// subset of the original with identical values, never an invention.
+	ts, err := New(v, Params{K: 16, Seed: 3, Mode: Threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err = Merge(ts, ts); err != nil {
+		t.Fatal(err)
+	}
+	if m.normSq < ts.normSq || m.nnz < ts.nnz {
+		t.Fatalf("threshold self-merge undershoots the truth (nnz %d vs %d, normSq %v vs %v)",
+			m.nnz, ts.nnz, m.normSq, ts.normSq)
+	}
+	j := 0
+	for i := range m.idx {
+		for j < len(ts.idx) && ts.idx[j] < m.idx[i] {
+			j++
+		}
+		if j == len(ts.idx) || ts.idx[j] != m.idx[i] || ts.vals[j] != m.vals[i] {
+			t.Fatalf("threshold self-merge invented sample %d at index %d", i, m.idx[i])
+		}
+	}
+}
+
+// TestMergePriorityThresholdExactness pins the τ algebra directly: the
+// merged threshold equals the (K+1)-st smallest rank of the union vector,
+// not merely some safe bound.
+func TestMergePriorityThresholdExactness(t *testing.T) {
+	v := intVector(t, 1<<18, 33, 120)
+	p := Params{K: 10, Seed: 5, Mode: Priority}
+	direct, err := New(v, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := v.NNZ() / 2
+	a, err := New(v.Shard(0, half), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(v.Shard(half, v.NNZ()), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(m.tau) != math.Float64bits(direct.tau) {
+		t.Fatalf("merged τ %v != direct τ %v", m.tau, direct.tau)
+	}
+	if m.tau == a.tau || m.tau == b.tau {
+		t.Log("merged τ came from a shard threshold (legal, but weakens the test); adjust the seed if this persists")
+	}
+}
+
+// TestMergeRejectsInconsistentInputs: sketches that disagree on a shared
+// retained value cannot be samples of one union vector; merging them must
+// error (in either mode) instead of silently corrupting the reconciled
+// norm.
+func TestMergeRejectsInconsistentInputs(t *testing.T) {
+	dim := uint64(1 << 16)
+	va := intVector(t, dim, 51, 60)
+	// Same support, conflicting values everywhere.
+	idx := make([]uint64, 0, va.NNZ())
+	vals := make([]float64, 0, va.NNZ())
+	va.Range(func(i uint64, x float64) bool {
+		idx = append(idx, i)
+		vals = append(vals, x*1000)
+		return true
+	})
+	vb := vector.MustNew(dim, idx, vals)
+	for _, mode := range []Mode{Priority, Threshold} {
+		p := Params{K: 8, Seed: 3, Mode: mode}
+		sa, err := New(va, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := New(vb, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa.Len() == 0 || sb.Len() == 0 {
+			t.Fatalf("%v: degenerate fixture (empty sample)", mode)
+		}
+		if _, err := Merge(sa, sb); err == nil {
+			t.Fatalf("%v: conflicting shared values merged silently", mode)
+		}
+	}
+}
+
+// TestMergeParamMismatch mirrors the estimator compatibility contract.
+func TestMergeParamMismatch(t *testing.T) {
+	v := intVector(t, 1<<16, 61, 30)
+	base, err := New(v, Params{K: 8, Seed: 1, Mode: Priority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]Params{
+		"seed": {K: 8, Seed: 2, Mode: Priority},
+		"k":    {K: 9, Seed: 1, Mode: Priority},
+		"mode": {K: 8, Seed: 1, Mode: Threshold},
+	} {
+		other, err := New(v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Merge(base, other); err == nil {
+			t.Fatalf("%s mismatch merged silently", name)
+		}
+	}
+}

@@ -145,7 +145,15 @@ func NewBuilder(p Params) (*Builder, error) {
 	// Absorb the fixed words into a chain prefix so the per-index hash is
 	// one Extend step. Both modes share the hash stream: it depends only on
 	// (seed, index), never on the mode or the weights.
-	return &Builder{p: p, key: hashing.Mix(hashing.Mix(p.Seed, 0x7073616d /* "psam" */))}, nil
+	return &Builder{p: p, key: indexChainKey(p.Seed)}, nil
+}
+
+// indexChainKey is the per-index hash chain prefix shared by construction
+// and merge: the same (seed, index) always maps to the same uniform hash,
+// which is what lets Merge re-derive ranks and inclusion thresholds from
+// a sketch's stored samples alone.
+func indexChainKey(seed uint64) uint64 {
+	return hashing.Mix(hashing.Mix(seed, 0x7073616d /* "psam" */))
 }
 
 // Params returns the builder's construction parameters.

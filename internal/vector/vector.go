@@ -146,6 +146,17 @@ func (s Sparse) Dense() []float64 {
 	return d
 }
 
+// Shard returns a read-only view of the stored entries [lo, hi) as a
+// vector of the same dimension: the restriction of s to its lo-th through
+// (hi−1)-th support entries. Shards of a partition have pairwise disjoint
+// supports and sum to s, which is what makes them the unit of mergeable
+// sketch construction. The view aliases s's storage (vectors are
+// immutable, so sharing is safe); it panics when the range is out of
+// bounds, mirroring slice semantics.
+func (s Sparse) Shard(lo, hi int) Sparse {
+	return Sparse{n: s.n, idx: s.idx[lo:hi], val: s.val[lo:hi]}
+}
+
 // Clone returns a deep copy.
 func (s Sparse) Clone() Sparse {
 	return Sparse{

@@ -1,0 +1,155 @@
+package wmh
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hashing"
+	"repro/internal/vector"
+)
+
+// This file makes WMH sketches mergeable. The record-process minima
+// compose: for a fixed normalization, the per-sample minimum over a union
+// of expanded blocks equals the minimum of the per-subset minima (for the
+// dart variant the same holds by superposition of the dart streams — see
+// internal/hashing/dart.go). So the sketch of a vector can be assembled
+// from sketches of disjoint subsets of its rounded blocks, bitwise.
+//
+// The one thing that does NOT compose is the normalization: Algorithm 4's
+// block weights are w_j = ⌊L·a[j]²/‖a‖²⌋ (plus the argmax absorbing the
+// global deficit), so a sub-vector sketched on its own is rounded against
+// its own, smaller norm and its blocks land in different slots than the
+// parent's. Shards therefore come from Shards, which rounds the parent
+// once and partitions the resulting blocks; Merge refuses inputs whose
+// stored norms differ, which is exactly the loud failure mode for partials
+// that were not built against one shared normalization.
+
+// Merge computes the union-min merge of two sketches built with identical
+// parameters against the same normalization (equal stored norms): per
+// sample, the smaller record-process minimum (and its block value) wins.
+// For shards of one vector (see Shards) the merge is bitwise identical to
+// sketching the vector directly; more generally it is the exact sketch of
+// the union of the two inputs' expanded block sets.
+//
+// An empty input (a shard with no blocks, or the sketch of an empty
+// vector) merges as the identity.
+func Merge(a, b *Sketch) (*Sketch, error) {
+	if err := compatible(a, b); err != nil {
+		return nil, err
+	}
+	if a.empty {
+		return cloneSketch(b), nil
+	}
+	if b.empty {
+		return cloneSketch(a), nil
+	}
+	if a.norm != b.norm {
+		return nil, fmt.Errorf("wmh: cannot merge sketches with stored norms %v vs %v: WMH shards must share the parent vector's normalization (see Shards)", a.norm, b.norm)
+	}
+	if len(a.hashes) != len(b.hashes) || len(a.vals) != len(b.vals) {
+		return nil, fmt.Errorf("wmh: cannot merge sketches with %d vs %d samples", len(a.hashes), len(b.hashes))
+	}
+	out := &Sketch{params: a.params, dim: a.dim, l: a.l, norm: a.norm, variant: a.variant}
+	out.hashes = make([]float64, len(a.hashes))
+	out.vals = make([]float64, len(a.vals))
+	// Ties keep a's sample, matching the construction loops (which replace
+	// the running minimum only on strictly smaller hashes): when shards are
+	// merged in block order, the earlier block wins a tie either way.
+	for i := range a.hashes {
+		if a.hashes[i] <= b.hashes[i] {
+			out.hashes[i] = a.hashes[i]
+			out.vals[i] = a.vals[i]
+		} else {
+			out.hashes[i] = b.hashes[i]
+			out.vals[i] = b.vals[i]
+		}
+	}
+	return out, nil
+}
+
+func cloneSketch(s *Sketch) *Sketch {
+	out := *s
+	out.hashes = append([]float64(nil), s.hashes...)
+	out.vals = append([]float64(nil), s.vals...)
+	return &out
+}
+
+// Shards sketches v as n mergeable partial sketches: the vector is rounded
+// once (under its own norm, exactly as New would round it) and the rounded
+// blocks are partitioned into n contiguous ranges, each sketched
+// independently. Folding the partials with Merge in order reproduces
+// New(v, p) bitwise — including the dart variant, whose per-block dart
+// streams superpose. Shards beyond the block count come back empty (the
+// merge identity). Partials are built concurrently across the worker pool.
+func Shards(v vector.Sparse, p Params, n int) ([]*Sketch, error) {
+	return shards(v, p, n, p.variantFor(false))
+}
+
+// ShardsNaive is Shards for the naive reference construction (NewNaive);
+// it exists so the merge-vs-rebuild property can be checked against the
+// literal Algorithm 3 as well. FastLog and Dart do not apply.
+func ShardsNaive(v vector.Sparse, p Params, n int) ([]*Sketch, error) {
+	if p.FastLog {
+		return nil, errors.New("wmh: FastLog does not apply to the naive construction")
+	}
+	if p.Dart {
+		return nil, errors.New("wmh: Dart does not apply to the naive construction")
+	}
+	return shards(v, p, n, variantNaive)
+}
+
+func shards(v vector.Sparse, p Params, n int, vr variant) ([]*Sketch, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, errors.New("wmh: shard count must be positive")
+	}
+	l := p.effectiveL(v.Dim())
+	norm := v.Norm()
+	out := make([]*Sketch, n)
+	if v.IsEmpty() {
+		for i := range out {
+			out[i] = &Sketch{params: p, dim: v.Dim(), l: l, norm: norm, variant: vr, empty: true}
+		}
+		return out, nil
+	}
+	idx, weights := Round(v, l)
+	bvals := roundedValues(nil, v, idx, weights, l, p.QuantizeValues)
+	var skeys []uint64
+	if vr != variantDart {
+		skeys = sampleKeys(nil, p.Seed, p.M) // shared, read-only across shards
+	}
+	nb := len(idx)
+	chunk := (nb + n - 1) / n
+	hashing.ParallelWorkers(n, hashing.Workers(n), func(_, wLo, wHi int) {
+		for w := wLo; w < wHi; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if lo > nb {
+				lo = nb
+			}
+			if hi > nb {
+				hi = nb
+			}
+			s := &Sketch{params: p, dim: v.Dim(), l: l, norm: norm, variant: vr}
+			if lo >= hi {
+				s.empty = true
+				out[w] = s
+				continue
+			}
+			s.hashes = make([]float64, p.M)
+			s.vals = make([]float64, p.M)
+			if vr == variantDart {
+				// Each shard owns its process scratch; the dart streams are
+				// keyed per block, so a shard enumerates exactly the subset
+				// of the parent's darts that its blocks would contribute.
+				fillDart(s.hashes, s.vals, p.Seed, idx[lo:hi], weights[lo:hi], bvals[lo:hi], newDartProcess(p.M, l))
+			} else {
+				fillBlockMajor(s.hashes, s.vals, skeys, idx[lo:hi], weights[lo:hi], bvals[lo:hi], vr)
+			}
+			out[w] = s
+		}
+	})
+	return out, nil
+}

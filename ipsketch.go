@@ -57,6 +57,7 @@ package ipsketch
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/linear"
 	"repro/internal/vector"
@@ -242,11 +243,15 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Sketcher produces sketches under a fixed configuration.
+// Sketcher produces sketches under a fixed configuration. It is safe for
+// concurrent use: the batch and chunked paths draw per-goroutine builders
+// from an internal pool, so construction scratch is reused across calls
+// without sharing.
 type Sketcher struct {
 	cfg  Config
 	be   backend
-	size int // method-specific size derived from the budget
+	size int       // method-specific size derived from the budget
+	pool sync.Pool // builder: per-worker construction scratch, reused across batch calls
 }
 
 // NewSketcher validates the configuration and returns a sketcher.

@@ -6,18 +6,23 @@
 //
 // Endpoints:
 //
-//	PUT    /tables/{name}  ingest a table (JSON columns or a serialized
-//	                       table-sketch bundle as application/octet-stream)
-//	DELETE /tables/{name}  remove a table
-//	POST   /search         rank the catalog against a query column
-//	POST   /estimate       pairwise join statistics for two cataloged tables
-//	POST   /snapshot       persist the catalog to the configured snapshot
-//	GET    /healthz        liveness
-//	GET    /statsz         counters, per-shard sizes, configuration
+//	PUT    /tables/{name}        ingest a table (JSON columns or a serialized
+//	                             table-sketch bundle as application/octet-stream)
+//	POST   /tables/{name}/merge  fold a partial table sketch (same body
+//	                             formats) into the cataloged sketch of that
+//	                             name, creating it when absent — the
+//	                             distributed-ingest endpoint for producers
+//	                             holding disjoint partitions of one table
+//	DELETE /tables/{name}        remove a table
+//	POST   /search               rank the catalog against a query column
+//	POST   /estimate             pairwise join statistics for two cataloged tables
+//	POST   /snapshot             persist the catalog to the configured snapshot
+//	GET    /healthz              liveness
+//	GET    /statsz               counters, per-shard sizes, configuration
 //
-// Ingest and query paths have independent concurrency limits, and the
-// ingest hot path draws table-sketch builders from a pool so steady-state
-// sketching reuses construction scratch.
+// Ingest and query paths have independent concurrency limits, and
+// server-side sketching runs through the library's chunked bulk-ingest
+// path (pooled builders, vector- and shard-level parallelism).
 package service
 
 import (
@@ -72,6 +77,17 @@ type TablePayload struct {
 // PutResponse acknowledges an ingest.
 type PutResponse struct {
 	Table        string   `json:"table"`
+	Columns      []string `json:"columns"`
+	StorageWords Float    `json:"storage_words"`
+}
+
+// MergeResponse acknowledges a partial-sketch merge. Merged reports
+// whether the partial was folded into an existing sketch (false: it
+// became the first sketch under the name); Columns and StorageWords
+// describe the cataloged sketch after the merge.
+type MergeResponse struct {
+	Table        string   `json:"table"`
+	Merged       bool     `json:"merged"`
 	Columns      []string `json:"columns"`
 	StorageWords Float    `json:"storage_words"`
 }
@@ -150,6 +166,7 @@ type StatsResponse struct {
 	Strict        bool    `json:"strict"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Puts          int64   `json:"puts"`
+	Merges        int64   `json:"merges"`
 	Deletes       int64   `json:"deletes"`
 	Searches      int64   `json:"searches"`
 	Estimates     int64   `json:"estimates"`

@@ -102,6 +102,28 @@ func (c *Client) PutSketch(ctx context.Context, name string, tsk *ipsketch.Table
 	return out, err
 }
 
+// MergeTable pushes raw columns of one table partition to be sketched
+// server-side and folded into the cataloged sketch under name (created
+// when absent). Producers holding disjoint partitions of a table call
+// this independently; the daemon rolls the partials up atomically.
+func (c *Client) MergeTable(ctx context.Context, name string, payload service.TablePayload) (service.MergeResponse, error) {
+	var out service.MergeResponse
+	err := c.doJSON(ctx, http.MethodPost, "/tables/"+url.PathEscape(name)+"/merge", payload, &out)
+	return out, err
+}
+
+// MergeSketch is MergeTable with a locally pre-built partial sketch
+// bundle, so the partition's raw columns never leave the producer.
+func (c *Client) MergeSketch(ctx context.Context, name string, tsk *ipsketch.TableSketch) (service.MergeResponse, error) {
+	var out service.MergeResponse
+	blob, err := tsk.MarshalBinary()
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodPost, "/tables/"+url.PathEscape(name)+"/merge", "application/octet-stream", blob, &out)
+	return out, err
+}
+
 // DeleteTable removes a table; Removed reports whether it existed.
 func (c *Client) DeleteTable(ctx context.Context, name string) (bool, error) {
 	var out service.DeleteResponse

@@ -10,7 +10,6 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,14 +45,13 @@ type Server struct {
 	cfg      Config
 	cat      *catalog.Catalog
 	sketcher *ipsketch.TableSketcher
-	builders sync.Pool // *ipsketch.TableSketchBuilder
 	mux      *http.ServeMux
 	start    time.Time
 
 	ingestSem, searchSem chan struct{}
 
-	puts, deletes, searches, estimates, snapshots, errs atomic.Int64
-	lastSnapshotUnixNano                                atomic.Int64
+	puts, merges, deletes, searches, estimates, snapshots, errs atomic.Int64
+	lastSnapshotUnixNano                                        atomic.Int64
 }
 
 // New validates the configuration and returns a server with an empty
@@ -97,6 +95,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("PUT /tables/{name}", s.handlePutTable)
+	s.mux.HandleFunc("POST /tables/{name}/merge", s.handleMergeTable)
 	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDeleteTable)
 	s.mux.HandleFunc("POST /search", s.handleSearch)
 	s.mux.HandleFunc("POST /estimate", s.handleEstimate)
@@ -155,18 +154,6 @@ func (s *Server) acquire(ctx context.Context, sem chan struct{}) error {
 		return ctx.Err()
 	}
 }
-
-// getBuilder draws a table-sketch builder from the pool (the pool holds
-// construction scratch; the steady-state ingest path allocates only the
-// sketches it returns).
-func (s *Server) getBuilder() (*ipsketch.TableSketchBuilder, error) {
-	if b, ok := s.builders.Get().(*ipsketch.TableSketchBuilder); ok {
-		return b, nil
-	}
-	return s.sketcher.NewBuilder()
-}
-
-func (s *Server) putBuilder(b *ipsketch.TableSketchBuilder) { s.builders.Put(b) }
 
 // writeJSON writes a 2xx JSON response.
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {
@@ -241,18 +228,42 @@ func parseAgg(s string) (ipsketch.Agg, error) {
 	return 0, fmt.Errorf("service: unknown agg %q", s)
 }
 
-// sketchPayload sketches a raw-columns payload with a pooled builder.
+// sketchPayload sketches a raw-columns payload through the chunked
+// bulk-ingest path: the bundle's vectors fan out across the worker pool
+// (and, for bundles with fewer vectors than workers, each vector's
+// support is shard-sketched and merged), with construction scratch drawn
+// from the sketcher's builder pool.
 func (s *Server) sketchPayload(name string, p *TablePayload) (*ipsketch.TableSketch, error) {
 	t, err := buildTable(name, p)
 	if err != nil {
 		return nil, err
 	}
-	b, err := s.getBuilder()
-	if err != nil {
-		return nil, err
+	return s.sketcher.SketchTableChunked(t)
+}
+
+// ingestSketch resolves an ingest request body — a pre-built serialized
+// sketch bundle (application/octet-stream) or raw JSON columns sketched
+// server-side — into a table sketch named after the request path.
+func (s *Server) ingestSketch(w http.ResponseWriter, r *http.Request, name string) (*ipsketch.TableSketch, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
+		// Pre-built serialized sketch bundle; the path name wins.
+		blob, err := io.ReadAll(body)
+		if err != nil {
+			return nil, err
+		}
+		tsk, err := ipsketch.UnmarshalTableSketch(blob)
+		if err != nil {
+			return nil, err
+		}
+		tsk.Name = name
+		return tsk, nil
 	}
-	defer s.putBuilder(b)
-	return b.SketchTable(t)
+	var p TablePayload
+	if err := json.NewDecoder(body).Decode(&p); err != nil {
+		return nil, fmt.Errorf("service: decoding table payload: %w", err)
+	}
+	return s.sketchPayload(name, &p)
 }
 
 func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
@@ -266,34 +277,10 @@ func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, errors.New("service: empty table name"))
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-
-	var tsk *ipsketch.TableSketch
-	ct := r.Header.Get("Content-Type")
-	switch {
-	case strings.HasPrefix(ct, "application/octet-stream"):
-		// Pre-built serialized sketch bundle; the path name wins.
-		blob, err := io.ReadAll(body)
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		if tsk, err = ipsketch.UnmarshalTableSketch(blob); err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		tsk.Name = name
-	default:
-		var p TablePayload
-		if err := json.NewDecoder(body).Decode(&p); err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding table payload: %w", err))
-			return
-		}
-		var err error
-		if tsk, err = s.sketchPayload(name, &p); err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
-			return
-		}
+	tsk, err := s.ingestSketch(w, r, name)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	if err := s.cat.Put(tsk); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -304,6 +291,45 @@ func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
 		Table:        tsk.Name,
 		Columns:      tsk.Columns(),
 		StorageWords: Float(tsk.StorageWords()),
+	})
+}
+
+// handleMergeTable folds a partial table sketch into the cataloged sketch
+// of the path name, creating it when absent: the distributed-ingest
+// endpoint. Producers holding disjoint partitions of a table each push
+// their partition (raw columns or a pre-built bundle) and the catalog
+// rolls them up atomically, so no producer ever needs the whole table.
+func (s *Server) handleMergeTable(w http.ResponseWriter, r *http.Request) {
+	if err := s.acquire(r.Context(), s.ingestSem); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer func() { <-s.ingestSem }()
+	name := r.PathValue("name")
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("service: empty table name"))
+		return
+	}
+	tsk, err := s.ingestSketch(w, r, name)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	merged, err := s.cat.Merge(tsk)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.merges.Add(1)
+	out, _ := s.cat.Get(name)
+	if out == nil { // racing DELETE; report what this request contributed
+		out = tsk
+	}
+	s.writeJSON(w, MergeResponse{
+		Table:        name,
+		Merged:       merged,
+		Columns:      out.Columns(),
+		StorageWords: Float(out.StorageWords()),
 	})
 }
 
@@ -444,6 +470,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Strict:        !s.cfg.Lax,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Puts:          s.puts.Load(),
+		Merges:        s.merges.Load(),
 		Deletes:       s.deletes.Load(),
 		Searches:      s.searches.Load(),
 		Estimates:     s.estimates.Load(),

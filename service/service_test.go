@@ -1,6 +1,7 @@
 package service_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -456,5 +457,105 @@ func TestFloatJSON(t *testing.T) {
 		if math.Float64bits(float64(dec)) != math.Float64bits(v) {
 			t.Fatalf("%v -> %s -> %v not bit-exact", v, enc, float64(dec))
 		}
+	}
+}
+
+// TestServiceMergeEndpoint: partials pushed through POST
+// /tables/{name}/merge — as raw JSON columns and as pre-built bundles —
+// roll up to exactly the single-ingest sketch, and the merges counter
+// moves.
+func TestServiceMergeEndpoint(t *testing.T) {
+	cfg := service.Config{
+		Sketch:   ipsketch.Config{Method: ipsketch.MethodMH, StorageWords: 120, Seed: 11},
+		KeySpace: testKeySpace,
+		Shards:   4,
+	}
+	srv, cl := newTestServer(t, cfg)
+	ctx := context.Background()
+
+	const rows = 80
+	keys := make([]uint64, rows)
+	vals := make([]float64, rows)
+	for i := range keys {
+		keys[i] = uint64(i*5 + 2)
+		vals[i] = float64(i%9 + 1)
+	}
+	half := rows / 2
+	p1 := service.TablePayload{Keys: keys[:half], Columns: map[string][]float64{"v": vals[:half]}}
+
+	// Partial 1 as raw columns (sketched server-side).
+	r1, err := cl.MergeTable(ctx, "t", p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Merged {
+		t.Fatal("first partial reported as merged into an existing sketch")
+	}
+	// Partial 2 as a pre-built bundle (sketched client-side).
+	ts, err := ipsketch.NewTableSketcher(cfg.Sketch, cfg.KeySpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := ipsketch.NewTable("t", keys[half:], map[string][]float64{"v": vals[half:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk2, err := ts.SketchTable(tab2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cl.MergeSketch(ctx, "t", sk2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Merged {
+		t.Fatal("second partial did not merge")
+	}
+
+	// The cataloged sketch must be byte-identical to single ingest.
+	full, err := ipsketch.NewTable("t", keys, map[string][]float64{"v": vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ts.SketchTable(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := srv.Catalog().Get("t")
+	if !ok {
+		t.Fatal("merged table missing from catalog")
+	}
+	gotBytes, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatal("merged partials differ from single ingest")
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Merges != 2 {
+		t.Fatalf("merges counter = %d, want 2", st.Merges)
+	}
+
+	// Incompatible partials are rejected with a client-visible error.
+	otherTS, err := ipsketch.NewTableSketcher(
+		ipsketch.Config{Method: ipsketch.MethodMH, StorageWords: 120, Seed: 99}, cfg.KeySpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSk, err := otherTS.SketchTable(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.MergeSketch(ctx, "t", badSk); err == nil {
+		t.Fatal("incompatible partial accepted")
 	}
 }

@@ -152,6 +152,100 @@ func (tb *TableSketchBuilder) SketchTable(t *Table, cols ...string) (*TableSketc
 	}, cols)
 }
 
+// SketchTableChunked is SketchTable through the chunked bulk-ingest path:
+// the bundle's vectors (key indicator plus value and squared-value vectors
+// per column) are derived once and handed to SketchAllChunked, so one
+// table's ingest parallelizes across the worker pool — across the
+// bundle's vectors, and within each vector's support when the bundle has
+// fewer vectors than workers. The resulting bundle estimates identically
+// to SketchTable's (bitwise for the min-based methods; see SketchShards
+// for the float caveat on stored aggregates).
+func (ts *TableSketcher) SketchTableChunked(t *Table, cols ...string) (*TableSketch, error) {
+	if len(cols) == 0 {
+		cols = t.ColumnNames()
+	}
+	vecs := make([]Vector, 0, 1+2*len(cols))
+	ki, err := t.KeyIndicator(ts.keySpace)
+	if err != nil {
+		return nil, err
+	}
+	vecs = append(vecs, ki)
+	for _, c := range cols {
+		v, err := t.ValueVector(ts.keySpace, c)
+		if err != nil {
+			return nil, err
+		}
+		sq, err := t.SquaredValueVector(ts.keySpace, c)
+		if err != nil {
+			return nil, err
+		}
+		vecs = append(vecs, v, sq)
+	}
+	sks, err := ts.s.SketchAllChunked(vecs)
+	if err != nil {
+		return nil, err
+	}
+	out := &TableSketch{
+		Name:     t.Name(),
+		keySpace: ts.keySpace,
+		key:      sks[0],
+		val:      make(map[string]*Sketch, len(cols)),
+		sqVal:    make(map[string]*Sketch, len(cols)),
+	}
+	for i, c := range cols {
+		out.val[c] = sks[1+2*i]
+		out.sqVal[c] = sks[2+2*i]
+	}
+	return out, nil
+}
+
+// Merge combines two table-sketch bundles built from partitions of one
+// table under the same configuration: the key sketches and the sketches
+// of every shared column merge pairwise (Sketch.Merge semantics — exact
+// for disjoint row partitions), and columns present in only one bundle
+// are carried over as-is, so column-partitioned producers compose too.
+// The receiver's name is kept; neither input is modified. Incompatible
+// bundles (key space, method, size, seed, or variant mismatches) fail
+// loudly, as does any method without merge support.
+func (tsk *TableSketch) Merge(other *TableSketch) (*TableSketch, error) {
+	if tsk == nil || other == nil {
+		return nil, errors.New("ipsketch: nil table sketch")
+	}
+	if tsk.keySpace != other.keySpace {
+		return nil, fmt.Errorf("ipsketch: key space mismatch %d vs %d", tsk.keySpace, other.keySpace)
+	}
+	key, err := tsk.key.Merge(other.key)
+	if err != nil {
+		return nil, fmt.Errorf("ipsketch: merging key sketches: %w", err)
+	}
+	out := &TableSketch{
+		Name:     tsk.Name,
+		keySpace: tsk.keySpace,
+		key:      key,
+		val:      make(map[string]*Sketch, len(tsk.val)+len(other.val)),
+		sqVal:    make(map[string]*Sketch, len(tsk.sqVal)+len(other.sqVal)),
+	}
+	for c, sk := range tsk.val {
+		o, ok := other.val[c]
+		if !ok {
+			out.val[c], out.sqVal[c] = sk, tsk.sqVal[c]
+			continue
+		}
+		if out.val[c], err = sk.Merge(o); err != nil {
+			return nil, fmt.Errorf("ipsketch: merging column %q: %w", c, err)
+		}
+		if out.sqVal[c], err = tsk.sqVal[c].Merge(other.sqVal[c]); err != nil {
+			return nil, fmt.Errorf("ipsketch: merging column %q squared values: %w", c, err)
+		}
+	}
+	for c, sk := range other.val {
+		if _, ok := tsk.val[c]; !ok {
+			out.val[c], out.sqVal[c] = sk, other.sqVal[c]
+		}
+	}
+	return out, nil
+}
+
 // Columns returns the sketched column names in sorted order (so catalog
 // scans and search tie-breaking are deterministic).
 func (tsk *TableSketch) Columns() []string {
