@@ -1,0 +1,424 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/service"
+	"repro/service/client"
+)
+
+// TestMain doubles as the daemon entry point for fault-injection tests:
+// with SKETCHD_DAEMON=1 the test binary re-execs into a real sketchd
+// process (own PID, killable with SIGKILL) whose args are ours verbatim.
+func TestMain(m *testing.M) {
+	if os.Getenv("SKETCHD_DAEMON") == "1" {
+		if err := run(context.Background(), os.Args[1:], os.Stdout, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "sketchd:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// childDaemon is a sketchd subprocess under test control.
+type childDaemon struct {
+	cmd     *exec.Cmd
+	addr    string
+	cl      *client.Client
+	waitErr error
+	exited  chan struct{} // closed once cmd.Wait returns (waitErr set before)
+}
+
+// startChild launches the test binary as a daemon subprocess, waits for
+// its listen announcement, and returns a hardened client against it.
+// exitOK is whether a clean exit is expected (false for kill targets).
+func startChild(t *testing.T, args ...string) *childDaemon {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Env = append(os.Environ(), "SKETCHD_DAEMON=1")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &childDaemon{cmd: cmd, exited: make(chan struct{})}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("child %d: %s", cmd.Process.Pid, line)
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				if addr, _, ok := strings.Cut(rest, " "); ok {
+					select {
+					case addrCh <- addr:
+					default:
+					}
+				}
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	go func() { d.waitErr = cmd.Wait(); close(d.exited) }()
+	select {
+	case d.addr = <-addrCh:
+	case <-d.exited:
+		t.Fatalf("child exited before listening: %v", d.waitErr)
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("child never announced its address")
+	}
+	d.cl, err = client.New("http://" + d.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		select {
+		case <-d.exited:
+		default:
+			cmd.Process.Kill()
+			<-d.exited
+		}
+	})
+	return d
+}
+
+// kill9 sends SIGKILL and waits for the process to die.
+func (d *childDaemon) kill9(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d.exited:
+	case <-time.After(30 * time.Second):
+		t.Fatal("child survived SIGKILL")
+	}
+}
+
+// crashOp is one logical mutation of the kill-9 workload: a PUT of a
+// distinct table, or an idempotency-keyed merge into a shared table.
+type crashOp struct {
+	merge bool
+	name  string
+	key   string // idempotency key for merges
+	p     service.TablePayload
+}
+
+// crashWorkload builds a deterministic mixed put/merge op sequence.
+func crashWorkload(n int) []crashOp {
+	ops := make([]crashOp, n)
+	for i := range ops {
+		rows := 30 + i%7*10
+		keys := make([]uint64, rows)
+		vals := make([]float64, rows)
+		for r := range keys {
+			keys[r] = uint64(r*2 + i)
+			vals[r] = float64((r*i)%13 + 1)
+		}
+		p := service.TablePayload{Keys: keys, Columns: map[string][]float64{"v": vals}}
+		if i%3 == 2 {
+			ops[i] = crashOp{merge: true, name: "acc", key: fmt.Sprintf("crash-merge-%03d", i), p: p}
+		} else {
+			ops[i] = crashOp{name: fmt.Sprintf("t%03d", i), p: p}
+		}
+	}
+	return ops
+}
+
+// apply issues one op through a client.
+func (op crashOp) apply(ctx context.Context, cl *client.Client) error {
+	var err error
+	if op.merge {
+		_, err = cl.MergeTableTagged(ctx, op.name, op.p, op.key)
+	} else {
+		_, err = cl.PutTable(ctx, op.name, op.p)
+	}
+	return err
+}
+
+// TestSketchdKill9Recovery is the crash e2e: a daemon ingesting a mixed
+// put/merge workload is SIGKILLed with a request in flight, restarted
+// over the same WAL, the interrupted tail of the workload re-driven
+// (same idempotency keys), and the final /search ranking must be
+// bit-exact with an uninterrupted control daemon that ran the whole
+// workload once. Runs with fsync=interval: kill -9 must not depend on
+// fsync (acknowledged records reached the kernel via write(2)).
+func TestSketchdKill9Recovery(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	snap := filepath.Join(dir, "catalog.ipsx")
+	cfgArgs := []string{
+		"-method", "MH", "-storage", "200", "-seed", "7", "-keyspace", "1048576", "-shards", "4",
+		"-wal", walDir, "-wal-fsync", "interval", "-wal-segment-bytes", "16384",
+		"-snapshot", snap, "-snapshot-every", "40ms",
+	}
+	ctx := context.Background()
+	ops := crashWorkload(36)
+
+	d := startChild(t, cfgArgs...)
+	if err := d.cl.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive ops sequentially; after a prefix is acknowledged, race the
+	// next op against SIGKILL so the kill lands with a request
+	// genuinely in flight.
+	const ackedPrefix = 12
+	acked := 0
+	for ; acked < ackedPrefix; acked++ {
+		if err := ops[acked].apply(ctx, d.cl); err != nil {
+			t.Fatalf("op %d: %v", acked, err)
+		}
+	}
+	opCtx, opCancel := context.WithTimeout(ctx, 10*time.Second)
+	defer opCancel()
+	inflight := make(chan error, 1)
+	go func() {
+		// Keep issuing ops until one fails under the kill. The channel
+		// send orders the final `acked` write before the main
+		// goroutine's read.
+		for i := ackedPrefix; i < len(ops); i++ {
+			if err := ops[i].apply(opCtx, d.cl); err != nil {
+				inflight <- fmt.Errorf("op %d: %w", i, err)
+				return
+			}
+			acked = i + 1
+		}
+		inflight <- nil
+	}()
+	time.Sleep(15 * time.Millisecond)
+	d.kill9(t)
+	err := <-inflight
+	if err == nil {
+		t.Log("kill landed after the whole workload was acknowledged")
+	} else {
+		t.Logf("kill interrupted ingest: %v", err)
+	}
+	interrupted := acked // ops[:interrupted] were acknowledged pre-kill
+
+	// Restart over the same WAL + snapshot and finish the workload:
+	// every op from the first unacknowledged one onward is (re)issued.
+	// Re-PUTs are idempotent; merges reuse their idempotency keys, so
+	// an op that was applied-but-unacknowledged is not applied twice.
+	d2 := startChild(t, cfgArgs...)
+	if err := d2.cl.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := interrupted; i < len(ops); i++ {
+		if err := ops[i].apply(ctx, d2.cl); err != nil {
+			t.Fatalf("re-driving op %d: %v", i, err)
+		}
+	}
+	// Also re-PUT a table acknowledged long before the kill: retried
+	// PUTs must be harmless.
+	if err := ops[0].apply(ctx, d2.cl); err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: uninterrupted in-process daemon, same config, no WAL,
+	// the whole workload exactly once.
+	control, stopControl := startDaemon(t, "-method", "MH", "-storage", "200", "-seed", "7",
+		"-keyspace", "1048576", "-shards", "4")
+	defer stopControl()
+	for i, op := range ops {
+		if err := op.apply(ctx, control); err != nil {
+			t.Fatalf("control op %d: %v", i, err)
+		}
+	}
+
+	hc, err := control.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := d2.cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd.Tables != hc.Tables {
+		t.Fatalf("recovered daemon holds %d tables, control %d", hd.Tables, hc.Tables)
+	}
+
+	query := service.TablePayload{
+		Keys:    []uint64{0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 30, 40},
+		Columns: map[string][]float64{"v": {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}},
+	}
+	for _, rankBy := range []string{"join_size", "abs_inner_product", "abs_correlation"} {
+		req := service.SearchRequest{Table: &query, Column: "v", RankBy: rankBy}
+		got, err := d2.cl.Search(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := control.Search(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results after recovery, control %d", rankBy, len(got), len(want))
+		}
+		for i := range want {
+			if !resultsIdentical(got[i], want[i]) {
+				t.Fatalf("%s: rank %d differs after recovery:\n got %+v\nwant %+v", rankBy, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSketchdTornWALRestart: after a kill -9, tear the last WAL record
+// (simulating a torn sector write on power loss) — the daemon must boot
+// cleanly, serve the intact prefix, and accept new writes.
+func TestSketchdTornWALRestart(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	cfgArgs := []string{"-method", "WMH", "-storage", "200", "-seed", "3", "-keyspace", "1048576",
+		"-wal", walDir, "-wal-fsync", "none"}
+	ctx := context.Background()
+
+	d := startChild(t, cfgArgs...)
+	if err := d.cl.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	const tables = 5
+	for i := 0; i < tables; i++ {
+		p := service.TablePayload{
+			Keys:    []uint64{uint64(i), uint64(i + 1), uint64(i + 2)},
+			Columns: map[string][]float64{"v": {1, 2, 3}},
+		}
+		if _, err := d.cl.PutTable(ctx, fmt.Sprintf("t%d", i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.kill9(t)
+
+	// Tear the tail: chop 3 bytes off the last (largest-LSN) segment,
+	// leaving a half-written final record.
+	segs, err := filepath.Glob(filepath.Join(walDir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments: %v", err)
+	}
+	sort.Strings(segs)
+	tail := segs[len(segs)-1]
+	fi, err := os.Stat(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() < 4 {
+		t.Fatalf("tail segment too small to tear: %d bytes", fi.Size())
+	}
+	if err := os.Truncate(tail, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := startChild(t, cfgArgs...)
+	if err := d2.cl.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, err := d2.cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tables != tables-1 {
+		t.Fatalf("after torn tail: %d tables, want the %d intact ones", h.Tables, tables-1)
+	}
+	// The log accepts new appends after the torn tail was truncated off.
+	if _, err := d2.cl.PutTable(ctx, "fresh", service.TablePayload{
+		Keys: []uint64{9, 10}, Columns: map[string][]float64{"v": {4, 5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := d2.cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WAL == nil || st.WAL.Replayed != int64(tables-1) {
+		t.Fatalf("wal stats after torn restart: %+v", st.WAL)
+	}
+}
+
+// TestSketchdSnapshotRecover: a corrupt snapshot fails the boot loudly
+// by default; with -snapshot-recover and a WAL the daemon falls back to
+// replaying what the log still holds (tables whose records were
+// garbage-collected by the snapshot's checkpoint are lost, the rest
+// survive).
+func TestSketchdSnapshotRecover(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	snap := filepath.Join(dir, "catalog.ipsx")
+	cfgArgs := []string{"-method", "WMH", "-storage", "200", "-seed", "5", "-keyspace", "1048576",
+		"-wal", walDir, "-snapshot", snap}
+	ctx := context.Background()
+
+	d := startChild(t, cfgArgs...)
+	if err := d.cl.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	put := func(cl *client.Client, name string) {
+		t.Helper()
+		p := service.TablePayload{Keys: []uint64{1, 2, 3}, Columns: map[string][]float64{"v": {1, 2, 3}}}
+		if _, err := cl.PutTable(ctx, name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two tables into the snapshot+checkpoint, two into the log tail.
+	put(d.cl, "old-a")
+	put(d.cl, "old-b")
+	if _, err := d.cl.Snapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	put(d.cl, "tail-a")
+	put(d.cl, "tail-b")
+	d.kill9(t)
+
+	// Corrupt the snapshot in place.
+	blob, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blob {
+		blob[i] ^= 0x5a
+	}
+	if err := os.WriteFile(snap, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without -snapshot-recover: refuse to boot.
+	cmd := exec.Command(os.Args[0], append([]string{"-addr", "127.0.0.1:0"}, cfgArgs...)...)
+	cmd.Env = append(os.Environ(), "SKETCHD_DAEMON=1")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("daemon booted from a corrupt snapshot:\n%s", out)
+	}
+
+	// With it: boot, recover the log tail, stay writable.
+	d2 := startChild(t, append(cfgArgs, "-snapshot-recover")...)
+	if err := d2.cl.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, err := d2.cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checkpointed segment was collected when the snapshot was
+	// taken, so only the tail tables survive the fallback.
+	if h.Tables != 2 {
+		t.Fatalf("recovered %d tables, want the 2 log-tail ones", h.Tables)
+	}
+	put(d2.cl, "post-recovery")
+	// A fresh snapshot makes the state durable again.
+	if _, err := d2.cl.Snapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

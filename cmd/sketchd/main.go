@@ -7,12 +7,29 @@
 // Usage:
 //
 //	sketchd -addr :7207 -method WMH -storage 400 -seed 1 \
-//	        -snapshot /var/lib/sketchd/catalog.ipsx -snapshot-every 5m
+//	        -snapshot /var/lib/sketchd/catalog.ipsx -snapshot-every 5m \
+//	        -wal /var/lib/sketchd/wal -wal-fsync interval
 //
 // With -snapshot, the catalog is restored from the file on boot (if it
 // exists), persisted on graceful shutdown (SIGINT/SIGTERM), persisted
 // every -snapshot-every interval, and persisted on demand via
-// POST /snapshot. Snapshots are written atomically (temp file + rename).
+// POST /snapshot. Snapshots are written atomically and durably (temp
+// file + fsync + rename + directory fsync).
+//
+// With -wal, every successful mutation is appended to a write-ahead log
+// before it is acknowledged, so a crash — even kill -9 — loses nothing
+// that was acknowledged. On boot the daemon restores the snapshot (if
+// any), replays the log tail, and only then reports ready on /readyz;
+// until then mutating and query endpoints answer 503 + Retry-After.
+// Snapshots double as checkpoints: fully-snapshotted log segments are
+// deleted. If the snapshot file is unreadable, -snapshot-recover falls
+// back to replaying everything the log still holds instead of refusing
+// to boot (records garbage-collected by earlier checkpoints are gone;
+// the fallback restores the newest surviving state).
+//
+// On SIGINT/SIGTERM the daemon drains: /readyz flips to 503 so load
+// balancers route away, in-flight requests get -drain-timeout to
+// finish, then the final snapshot is written and the WAL closed.
 //
 // See the service package for the endpoint reference and
 // cmd/datasearch -remote for a client.
@@ -33,6 +50,8 @@ import (
 	"time"
 
 	ipsketch "repro"
+	"repro/internal/catalog"
+	"repro/internal/wal"
 	"repro/service"
 )
 
@@ -46,9 +65,9 @@ func main() {
 }
 
 // run is the daemon body, factored for the smoke test: it parses args,
-// binds the listener (announcing the resolved address on ready, if
-// non-nil), serves until ctx is canceled, then shuts down gracefully and
-// writes a final snapshot.
+// binds the listener, restores snapshot + WAL tail, announces the
+// resolved address on ready (if non-nil) once the server is accepting
+// traffic, serves until ctx is canceled, then drains and persists.
 func run(ctx context.Context, args []string, out io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("sketchd", flag.ContinueOnError)
 	var (
@@ -65,6 +84,13 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		shards        = fs.Int("shards", 0, "catalog shard count (0 = default)")
 		snapshot      = fs.String("snapshot", "", "snapshot file (load on boot, save on shutdown)")
 		snapshotEvery = fs.Duration("snapshot-every", 0, "periodic snapshot interval (0 = only on shutdown)")
+		snapRecover   = fs.Bool("snapshot-recover", false, "with -wal: replay the log instead of failing when the snapshot is unreadable")
+		walDir        = fs.String("wal", "", "write-ahead log directory (empty = no WAL)")
+		walFsync      = fs.String("wal-fsync", "always", "WAL fsync policy: always, interval, or none")
+		walFsyncEvery = fs.Duration("wal-fsync-interval", wal.DefaultSyncInterval, "fsync cadence for -wal-fsync=interval")
+		walSegBytes   = fs.Int64("wal-segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold")
+		reqTimeout    = fs.Duration("request-timeout", 30*time.Second, "server-side per-request deadline (0 = none)")
+		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown window for in-flight requests")
 		ingestLimit   = fs.Int("ingest-limit", 0, "max in-flight ingest requests (0 = 2×GOMAXPROCS)")
 		searchLimit   = fs.Int("search-limit", 0, "max in-flight search requests (0 = 2×GOMAXPROCS)")
 		lax           = fs.Bool("lax", false, "disable the eager sketch-compatibility check")
@@ -78,17 +104,40 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		return err
 	}
 
+	var walLog *wal.Log
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*walFsync)
+		if err != nil {
+			return err
+		}
+		walLog, err = wal.Open(wal.Options{
+			Dir:          *walDir,
+			Sync:         policy,
+			SyncInterval: *walFsyncEvery,
+			SegmentBytes: *walSegBytes,
+		})
+		if err != nil {
+			return fmt.Errorf("opening WAL: %w", err)
+		}
+		defer walLog.Close()
+		if note := walLog.TornNote(); note != "" {
+			fmt.Fprintf(out, "sketchd: WAL: %s\n", note)
+		}
+	}
+
 	srv, err := service.New(service.Config{
 		Sketch: ipsketch.Config{
 			Method: method, StorageWords: *storage, Seed: *seed,
 			L: *l, Reps: *reps, Quantize: *quantize, FastHash: *fastHash, Dart: *dart,
 		},
-		KeySpace:     *keySpace,
-		Shards:       *shards,
-		Lax:          *lax,
-		SnapshotPath: *snapshot,
-		IngestLimit:  *ingestLimit,
-		SearchLimit:  *searchLimit,
+		KeySpace:       *keySpace,
+		Shards:         *shards,
+		Lax:            *lax,
+		SnapshotPath:   *snapshot,
+		IngestLimit:    *ingestLimit,
+		SearchLimit:    *searchLimit,
+		WAL:            walLog,
+		RequestTimeout: *reqTimeout,
 	})
 	if err != nil {
 		return err
@@ -97,10 +146,20 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	if *snapshot != "" {
 		if _, err := os.Stat(*snapshot); err == nil {
 			n, err := srv.LoadSnapshot()
-			if err != nil {
+			switch {
+			case err == nil:
+				fmt.Fprintf(out, "sketchd: restored %d tables from %s\n", n, *snapshot)
+			case *snapRecover && walLog != nil && errors.As(err, new(*catalog.SnapshotError)):
+				// The snapshot is gone but the log survives: replay
+				// everything it still holds. Segments collected by
+				// earlier checkpoints are unrecoverable, so say so.
+				fmt.Fprintf(out, "sketchd: snapshot unreadable (%v); recovering from WAL — tables checkpointed before the oldest surviving segment are lost\n", err)
+				if err := walLog.ForgetCheckpoint(); err != nil {
+					return fmt.Errorf("resetting WAL checkpoint for recovery: %w", err)
+				}
+			default:
 				return fmt.Errorf("restoring snapshot: %w", err)
 			}
-			fmt.Fprintf(out, "sketchd: restored %d tables from %s\n", n, *snapshot)
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("checking snapshot: %w", err)
 		}
@@ -112,13 +171,28 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	}
 	fmt.Fprintf(out, "sketchd: listening on %s (method=%v storage=%d seed=%d shards=%d)\n",
 		ln.Addr(), method, *storage, *seed, srv.Catalog().Shards())
-	if ready != nil {
-		ready <- ln.Addr().String()
-	}
 
+	// Serve while still replaying: the readiness middleware answers 503
+	// with Retry-After until ReplayWAL flips the server ready, so load
+	// balancers and hardened clients back off instead of failing.
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+
+	if walLog != nil {
+		n, err := srv.ReplayWAL()
+		if err != nil {
+			return fmt.Errorf("replaying WAL: %w", err)
+		}
+		if note := walLog.TornNote(); note != "" {
+			fmt.Fprintf(out, "sketchd: WAL: %s\n", note)
+		}
+		fmt.Fprintf(out, "sketchd: replayed %d WAL records (LSN %d, checkpoint %d); ready\n",
+			n, walLog.LSN(), walLog.CheckpointLSN())
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
@@ -137,7 +211,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		case err := <-serveErr:
 			return err // listener died underneath us
 		case <-ctx.Done():
-			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			// Drain: stop advertising readiness, give in-flight requests
+			// the drain window, then persist and release the log.
+			srv.StartDraining()
+			shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 			err := hs.Shutdown(shutCtx)
 			cancel()
 			if err != nil {
@@ -149,6 +226,11 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 					return fmt.Errorf("final snapshot: %w", err)
 				}
 				fmt.Fprintf(out, "sketchd: saved %d tables to %s\n", srv.Catalog().Len(), *snapshot)
+			}
+			if walLog != nil {
+				if err := walLog.Close(); err != nil {
+					return fmt.Errorf("closing WAL: %w", err)
+				}
 			}
 			return nil
 		}

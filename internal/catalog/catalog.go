@@ -30,18 +30,40 @@ package catalog
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 
 	ipsketch "repro"
+	"repro/internal/fsx"
 )
 
 // DefaultShards is the shard count when Options.Shards is zero: enough
 // stripes that writers rarely collide, few enough that per-shard indexes
 // stay large and search fan-out cheap.
 const DefaultShards = 16
+
+// MutationOp identifies a catalog mutation kind for OnMutate hooks.
+type MutationOp int
+
+// The mutation kinds.
+const (
+	MutationPut    MutationOp = iota + 1 // replace the named sketch
+	MutationMerge                        // fold a partial into the named sketch
+	MutationDelete                       // remove the named sketch
+)
+
+// Mutation describes one catalog mutation as seen by an OnMutate hook.
+// For MutationMerge, Sketch is the incoming PARTIAL (not the merged
+// result): re-applying the same partials in order reconverges exactly,
+// which is what makes the write-ahead log a sufficient durability record.
+type Mutation struct {
+	Op     MutationOp
+	Name   string
+	Sketch *ipsketch.TableSketch // nil for MutationDelete
+	Tag    string                // merge idempotency key ("" otherwise)
+}
 
 // Options configures a catalog.
 type Options struct {
@@ -52,6 +74,13 @@ type Options struct {
 	// variant, or key-space mismatch) fail immediately instead of
 	// poisoning searches.
 	Strict bool
+	// OnMutate, when set, is called for every admitted mutation while the
+	// target shard's write mutex is held and BEFORE the mutation is
+	// published: write-ahead semantics. An error from the hook fails the
+	// mutation without publishing it, and the per-table hook order is
+	// exactly the publish order, so replaying the hooked mutations
+	// reconstructs the catalog.
+	OnMutate func(Mutation) error
 }
 
 // shard is one stripe. tables and ix are immutable once published:
@@ -81,8 +110,9 @@ func (sh *shard) publish(m map[string]*ipsketch.TableSketch, ix *ipsketch.Sketch
 
 // Catalog is a sharded concurrent table-sketch catalog.
 type Catalog struct {
-	shards []shard
-	strict bool
+	shards   []shard
+	strict   bool
+	onMutate func(Mutation) error
 
 	// pin is the first table ever put to a strict catalog; it survives
 	// removal so an emptied catalog keeps rejecting the same mismatches.
@@ -96,7 +126,7 @@ func New(opts Options) *Catalog {
 	if n <= 0 {
 		n = DefaultShards
 	}
-	c := &Catalog{shards: make([]shard, n), strict: opts.Strict}
+	c := &Catalog{shards: make([]shard, n), strict: opts.Strict, onMutate: opts.OnMutate}
 	for i := range c.shards {
 		c.shards[i].tables = map[string]*ipsketch.TableSketch{}
 		c.shards[i].ix = ipsketch.NewSketchIndex()
@@ -190,7 +220,21 @@ func (c *Catalog) Put(ts *ipsketch.TableSketch) error {
 	sh := c.shardFor(ts.Name)
 	sh.writeMu.Lock()
 	defer sh.writeMu.Unlock()
+	if err := c.hook(Mutation{Op: MutationPut, Name: ts.Name, Sketch: ts}); err != nil {
+		return err
+	}
 	return sh.replaceLocked(ts)
+}
+
+// hook runs the OnMutate hook (the caller holds the shard write mutex).
+func (c *Catalog) hook(m Mutation) error {
+	if c.onMutate == nil {
+		return nil
+	}
+	if err := c.onMutate(m); err != nil {
+		return fmt.Errorf("catalog: mutation hook for %q: %w", m.Name, err)
+	}
+	return nil
 }
 
 // Merge folds a partial table sketch into the cataloged sketch of the
@@ -201,6 +245,15 @@ func (c *Catalog) Put(ts *ipsketch.TableSketch) error {
 // lose updates — the property distributed producers rely on when each
 // pushes its partition's sketch independently.
 func (c *Catalog) Merge(ts *ipsketch.TableSketch) (bool, error) {
+	return c.MergeTagged(ts, "")
+}
+
+// MergeTagged is Merge carrying an idempotency tag through to the
+// OnMutate hook (the serving layer's client-supplied request ID, logged
+// so a replayed log can rebuild the dedupe state). The hook sees the
+// incoming partial, and only after the merge is known to succeed — a
+// logged mutation always re-applies cleanly on replay.
+func (c *Catalog) MergeTagged(ts *ipsketch.TableSketch, tag string) (bool, error) {
 	if err := c.admit(ts); err != nil {
 		return false, err
 	}
@@ -209,14 +262,18 @@ func (c *Catalog) Merge(ts *ipsketch.TableSketch) (bool, error) {
 	defer sh.writeMu.Unlock()
 	old, _ := sh.view()
 	prev, existed := old[ts.Name]
+	result := ts
 	if existed {
 		merged, err := prev.Merge(ts)
 		if err != nil {
 			return false, fmt.Errorf("catalog: merging into %q: %w", ts.Name, err)
 		}
-		ts = merged
+		result = merged
 	}
-	if err := sh.replaceLocked(ts); err != nil {
+	if err := c.hook(Mutation{Op: MutationMerge, Name: ts.Name, Sketch: ts, Tag: tag}); err != nil {
+		return false, err
+	}
+	if err := sh.replaceLocked(result); err != nil {
 		return false, err
 	}
 	return existed, nil
@@ -239,14 +296,26 @@ func (sh *shard) replaceLocked(ts *ipsketch.TableSketch) error {
 	return nil
 }
 
-// Remove deletes the table and reports whether it was present.
+// Remove deletes the table and reports whether it was present. A
+// mutation-hook failure (an unloggable delete) leaves the table in place
+// and reports false; use Delete for the error.
 func (c *Catalog) Remove(name string) bool {
+	ok, _ := c.Delete(name)
+	return ok
+}
+
+// Delete deletes the table, reporting whether it was present and any
+// mutation-hook failure (in which case nothing was removed).
+func (c *Catalog) Delete(name string) (bool, error) {
 	sh := c.shardFor(name)
 	sh.writeMu.Lock()
 	defer sh.writeMu.Unlock()
 	old, _ := sh.view()
 	if _, ok := old[name]; !ok {
-		return false
+		return false, nil
+	}
+	if err := c.hook(Mutation{Op: MutationDelete, Name: name}); err != nil {
+		return false, err
 	}
 	next := make(map[string]*ipsketch.TableSketch, len(old)-1)
 	for n, sk := range old {
@@ -260,7 +329,7 @@ func (c *Catalog) Remove(name string) bool {
 		panic(fmt.Sprintf("catalog: rebuilding shard after remove: %v", err))
 	}
 	sh.publish(next, ix)
-	return true
+	return true, nil
 }
 
 // sortedIndex builds the published per-shard index: entries added in
@@ -395,38 +464,49 @@ func (c *Catalog) SearchTopK(query *ipsketch.TableSketch, queryCol string, by ip
 	return merged, nil
 }
 
-// Save writes a snapshot of the catalog to path atomically: the index
-// envelope is streamed to a temporary file in the same directory and
-// renamed over the target, so a crash mid-save never corrupts the
+// Save writes a snapshot of the catalog to path atomically and durably
+// (temp file + fsync of both the file and its directory + rename), so a
+// crash — or a power loss — mid-save never corrupts or loses the
 // previous snapshot.
 func (c *Catalog) Save(path string) error {
-	ix := c.Snapshot()
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	return SaveIndex(c.Snapshot(), path)
+}
+
+// SaveIndex writes an already-captured index snapshot to path with the
+// same atomicity and durability as Save. The serving layer uses the
+// split form to capture the index under its snapshot barrier and do the
+// slow encode outside it.
+func SaveIndex(ix *ipsketch.SketchIndex, path string) error {
+	err := fsx.AtomicWrite(path, func(w io.Writer) error {
+		return ipsketch.EncodeIndex(w, ix)
+	})
 	if err != nil {
-		return fmt.Errorf("catalog: creating snapshot temp file: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := ipsketch.EncodeIndex(tmp, ix); err != nil {
-		tmp.Close()
-		return fmt.Errorf("catalog: encoding snapshot: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("catalog: syncing snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("catalog: closing snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("catalog: publishing snapshot: %w", err)
+		return fmt.Errorf("catalog: writing snapshot: %w", err)
 	}
 	return nil
 }
 
+// SnapshotError is the typed failure of loading a snapshot file: the
+// file exists but cannot be decoded (truncated, bit-flipped, or not a
+// snapshot at all). Boot code matches it with errors.As to decide
+// whether WAL-based recovery should be attempted.
+type SnapshotError struct {
+	Path string
+	Err  error
+}
+
+// Error implements error.
+func (e *SnapshotError) Error() string {
+	return fmt.Sprintf("catalog: snapshot %s is unreadable: %v", e.Path, e.Err)
+}
+
+// Unwrap exposes the decode failure.
+func (e *SnapshotError) Unwrap() error { return e.Err }
+
 // Load reads a snapshot written by Save and puts every table into the
 // catalog (replacing same-named tables). It returns the number of tables
 // loaded. Strict catalogs validate every loaded sketch against the pin.
+// A file that exists but will not decode returns a *SnapshotError.
 func (c *Catalog) Load(path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -435,7 +515,7 @@ func (c *Catalog) Load(path string) (int, error) {
 	defer f.Close()
 	ix, err := ipsketch.DecodeIndex(f)
 	if err != nil {
-		return 0, fmt.Errorf("catalog: decoding snapshot %s: %w", path, err)
+		return 0, &SnapshotError{Path: path, Err: err}
 	}
 	for _, name := range ix.Tables() {
 		ts, _ := ix.Get(name)

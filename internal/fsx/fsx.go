@@ -1,0 +1,81 @@
+// Package fsx holds the small filesystem primitives the durability layer
+// is built on: crash-safe atomic file replacement and directory syncing.
+//
+// The well-known trap these exist to avoid: writing a temp file and
+// renaming it over the target is atomic with respect to concurrent
+// readers, but NOT durable across power loss — the data blocks, the
+// inode, and the directory entry are three separate pieces of state the
+// kernel may flush in any order. A crash after rename can surface an
+// empty or garbage file unless the temp file is fsynced before the
+// rename and the parent directory is fsynced after it. AtomicWrite does
+// all three; both the catalog snapshot writer and the WAL (checkpoint
+// publication, segment creation) go through this package.
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// AtomicWrite streams content to path atomically and durably: write is
+// called with a temp file in path's directory, then the temp file is
+// fsynced, closed, renamed over path, and the directory is fsynced so
+// the rename itself survives power loss. On any error the temp file is
+// removed and the previous content of path is untouched.
+func AtomicWrite(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fsx: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fsx: syncing temp file: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fsx: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fsx: renaming into place: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// WriteFileAtomic is AtomicWrite for a byte slice.
+func WriteFileAtomic(path string, data []byte) error {
+	return AtomicWrite(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// SyncDir fsyncs a directory, making directory-entry mutations in it
+// (renames, creates, removes) durable. Filesystems that refuse to fsync
+// a directory handle are tolerated: there is nothing more we can do.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsx: opening directory for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !ignorableSyncError(err) {
+		return fmt.Errorf("fsx: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}
+
+// ignorableSyncError reports whether a directory fsync failure is the
+// filesystem declining the operation (tmpfs variants, some network
+// filesystems) rather than an I/O failure.
+func ignorableSyncError(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.EBADF)
+}

@@ -1,0 +1,459 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// appendN appends n put records with distinct names/payloads.
+func appendN(t *testing.T, l *Log, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		name := fmt.Sprintf("table-%03d", i)
+		payload := bytes.Repeat([]byte{byte(i)}, 16+i%7)
+		if _, err := l.Append(OpPut, name, "", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// replayAll collects every replayed record.
+func replayAll(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var recs []Record
+	if _, err := l.Replay(func(r Record) error {
+		p := append([]byte(nil), r.Payload...)
+		r.Payload = p
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(OpPut, "alpha", "", []byte("sketch-bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 1 {
+		t.Fatalf("first LSN = %d", lsn)
+	}
+	if _, err := l.Append(OpMerge, "alpha", "req-123", []byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(OpDelete, "beta", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := replayAll(t, l2)
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records", len(recs))
+	}
+	want := []Record{
+		{LSN: 1, Op: OpPut, Name: "alpha", Payload: []byte("sketch-bytes")},
+		{LSN: 2, Op: OpMerge, Name: "alpha", Tag: "req-123", Payload: []byte("partial")},
+		{LSN: 3, Op: OpDelete, Name: "beta"},
+	}
+	for i, w := range want {
+		g := recs[i]
+		if g.LSN != w.LSN || g.Op != w.Op || g.Name != w.Name || g.Tag != w.Tag || !bytes.Equal(g.Payload, w.Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if l2.LSN() != 3 {
+		t.Fatalf("LSN = %d", l2.LSN())
+	}
+	// Appends continue after the replayed tail.
+	if lsn, err := l2.Append(OpPut, "gamma", "", []byte("x")); err != nil || lsn != 4 {
+		t.Fatalf("append after reopen: lsn=%d err=%v", lsn, err)
+	}
+}
+
+// TestTornWriteEveryOffset is the exhaustive torn-tail matrix: a log of
+// full records plus one final record truncated at EVERY byte boundary
+// must reopen cleanly, replay exactly the intact prefix, and keep
+// accepting appends.
+func TestTornWriteEveryOffset(t *testing.T) {
+	// Build a reference log once to learn the file layout.
+	ref := t.TempDir()
+	l, err := Open(Options{Dir: ref, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 4)
+	if _, err := l.Append(OpMerge, "victim", "tag-v", []byte("final-record-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(ref, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v (%v)", segs, err)
+	}
+	full, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, end, note := scanFrames(full)
+	if note != "" || end != len(full) || len(recs) != 5 {
+		t.Fatalf("reference scan: %d recs, end %d/%d, note %q", len(recs), end, len(full), note)
+	}
+	// Find the start of the last frame by walking the first 4 frames.
+	prefix := 0
+	for i := 0; i < 4; i++ {
+		n := int(le32(full[prefix:]))
+		prefix += frameHeaderLen + n
+	}
+
+	for cut := prefix; cut < len(full); cut++ {
+		dir := t.TempDir()
+		seg := filepath.Join(dir, filepath.Base(segs[0]))
+		if err := os.WriteFile(seg, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(Options{Dir: dir, Sync: SyncNone})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		if cut > prefix && l.TornNote() == "" {
+			t.Fatalf("cut %d: no torn note", cut)
+		}
+		got := replayAll(t, l)
+		if len(got) != 4 {
+			t.Fatalf("cut %d: replayed %d records, want the 4 intact ones", cut, len(got))
+		}
+		if l.LSN() != 4 {
+			t.Fatalf("cut %d: LSN = %d", cut, l.LSN())
+		}
+		// The log must keep working: the torn record's LSN is reused.
+		if lsn, err := l.Append(OpPut, "recovered", "", []byte("y")); err != nil || lsn != 5 {
+			t.Fatalf("cut %d: append after torn open: lsn=%d err=%v", cut, lsn, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCorruptEveryByteOfLastRecord flips each byte of the final record
+// in place; replay must stop before it, never panic, never error.
+func TestCorruptEveryByteOfLastRecord(t *testing.T) {
+	ref := t.TempDir()
+	l, err := Open(Options{Dir: ref, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 3)
+	if _, err := l.Append(OpPut, "victim", "", []byte("corruptible")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(ref, "wal-*.seg"))
+	full, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := 0
+	for i := 0; i < 3; i++ {
+		prefix += frameHeaderLen + int(le32(full[prefix:]))
+	}
+	for off := prefix; off < len(full); off++ {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0xff
+		recs, end, note := scanFrames(mut)
+		// A flipped byte in the length prefix can still describe a
+		// "valid-looking" torn frame, but the CRC or bounds always catch
+		// it: we must never read past the 3 intact records.
+		if len(recs) > 4 {
+			t.Fatalf("off %d: %d records parsed", off, len(recs))
+		}
+		if len(recs) < 3 {
+			t.Fatalf("off %d: intact prefix lost (%d records)", off, len(recs))
+		}
+		if len(recs) == 4 {
+			t.Fatalf("off %d: corrupted record parsed as valid (end=%d note=%q)", off, end, note)
+		}
+		if note == "" {
+			t.Fatalf("off %d: corruption not noted", off)
+		}
+	}
+}
+
+func TestSegmentRotationAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 40) // ~40 records of ~45 bytes: several segments
+	if l.Segments() < 3 {
+		t.Fatalf("segments = %d, want rotation", l.Segments())
+	}
+	recs := replayAll(t, l)
+	if len(recs) != 40 {
+		t.Fatalf("replayed %d", len(recs))
+	}
+
+	// Checkpoint at LSN 25: replay skips 1..25; early segments vanish.
+	before := l.Segments()
+	if err := l.Checkpoint(25); err != nil {
+		t.Fatal(err)
+	}
+	if l.Segments() >= before {
+		t.Fatalf("segments %d -> %d: nothing collected", before, l.Segments())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir, Sync: SyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.CheckpointLSN() != 25 {
+		t.Fatalf("checkpoint = %d", l2.CheckpointLSN())
+	}
+	recs = replayAll(t, l2)
+	if len(recs) != 15 {
+		t.Fatalf("replayed %d records after checkpoint, want 15", len(recs))
+	}
+	if recs[0].LSN != 26 || recs[len(recs)-1].LSN != 40 {
+		t.Fatalf("replay range [%d, %d]", recs[0].LSN, recs[len(recs)-1].LSN)
+	}
+	if l2.LSN() != 40 {
+		t.Fatalf("LSN = %d", l2.LSN())
+	}
+
+	// Checkpoint everything: the log drains to one empty active segment.
+	if err := l2.Checkpoint(40); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Segments() != 1 {
+		t.Fatalf("segments after full checkpoint = %d", l2.Segments())
+	}
+	if n, err := l2.Replay(func(Record) error { return nil }); err != nil || n != 0 {
+		t.Fatalf("replay after full checkpoint: n=%d err=%v", n, err)
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 3)
+	if err := l.Checkpoint(4); err == nil {
+		t.Fatal("checkpoint beyond the log accepted")
+	}
+	if err := l.Checkpoint(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(2); err == nil {
+		t.Fatal("checkpoint moved backwards")
+	}
+}
+
+func TestCorruptCheckpointFileIsLoud(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 2)
+	if err := l.Checkpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	path := filepath.Join(dir, checkpointFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, Sync: SyncNone}); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("corrupt checkpoint opened silently: %v", err)
+	}
+}
+
+func TestSyncIntervalFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncInterval, SyncInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 5)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l.mu.Lock()
+		synced := !l.dirty && l.syncs > 0
+		l.mu.Unlock()
+		if synced {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Sync: SyncNone, SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append(OpPut, fmt.Sprintf("w%d-%d", w, i), "", []byte("p")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.LSN() != workers*per {
+		t.Fatalf("LSN = %d", l.LSN())
+	}
+	recs := replayAll(t, l)
+	if len(recs) != workers*per {
+		t.Fatalf("replayed %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d: replay out of order", i, r.LSN)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(OpPut, "late", "", nil); err == nil {
+		t.Fatal("append after Close accepted")
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Forge an implausible length prefix on disk instead of allocating
+	// 1 GiB: scanFrames must refuse it.
+	frame := appendFrame(nil, 1, OpPut, "x", "", []byte("p"))
+	frame[0], frame[1], frame[2], frame[3] = 0xff, 0xff, 0xff, 0x7f
+	recs, _, note := scanFrames(frame)
+	if len(recs) != 0 || note == "" {
+		t.Fatalf("implausible length accepted: %d recs, note %q", len(recs), note)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"always": SyncAlways, "Interval": SyncInterval, "NONE": SyncNone} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// le32 reads a little-endian uint32 length prefix.
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// TestForgetCheckpoint: resetting the checkpoint makes Replay apply
+// every record still on disk — the disaster-recovery path when the
+// snapshot backing a checkpoint is lost. Records whose segments were
+// already collected stay gone.
+func TestForgetCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 12)
+	if err := l.Checkpoint(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.ForgetCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if l2.CheckpointLSN() != 0 {
+		t.Fatalf("checkpoint = %d after reset", l2.CheckpointLSN())
+	}
+	recs := replayAll(t, l2)
+	// Records 1..4 lived in segments collected by the checkpoint; with
+	// tiny segments some of 1..4 may survive in the rotated-but-active
+	// boundary, so assert the invariants rather than an exact count:
+	// everything 5..12 is present, LSNs are strictly increasing, and at
+	// least as many records replay as a checkpoint-respecting replay.
+	seen := map[uint64]bool{}
+	last := uint64(0)
+	for _, r := range recs {
+		if r.LSN <= last {
+			t.Fatalf("replay out of order: %d after %d", r.LSN, last)
+		}
+		last = r.LSN
+		seen[r.LSN] = true
+	}
+	for lsn := uint64(5); lsn <= 12; lsn++ {
+		if !seen[lsn] {
+			t.Fatalf("record %d missing from post-reset replay", lsn)
+		}
+	}
+	// Appends continue past the reset and a fresh checkpoint is legal.
+	if _, err := l2.Append(OpPut, "after-reset", "", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Checkpoint(l2.LSN()); err != nil {
+		t.Fatal(err)
+	}
+}

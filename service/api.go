@@ -18,11 +18,19 @@
 //	POST   /estimate             pairwise join statistics for two cataloged tables
 //	POST   /snapshot             persist the catalog to the configured snapshot
 //	GET    /healthz              liveness
+//	GET    /readyz               traffic readiness (503 while replaying or draining)
 //	GET    /statsz               counters, per-shard sizes, configuration
 //
 // Ingest and query paths have independent concurrency limits, and
 // server-side sketching runs through the library's chunked bulk-ingest
 // path (pooled builders, vector- and shard-level parallelism).
+//
+// With a write-ahead log configured (Config.WAL), every successful
+// mutation is logged before it is published and the server replays the
+// log tail on boot; POST /tables/{name}/merge accepts an
+// Idempotency-Key header so retried merges are answered from a dedupe
+// cache instead of double-applied (see DESIGN.md §11 for the per-
+// endpoint retry/idempotency table).
 package service
 
 import (
@@ -155,25 +163,54 @@ type HealthResponse struct {
 	Tables int    `json:"tables"`
 }
 
+// ReadyResponse is the /readyz body; Status is "ready", "replaying", or
+// "draining" (the latter two with HTTP 503).
+type ReadyResponse struct {
+	Status string `json:"status"`
+	Tables int    `json:"tables"`
+}
+
+// HeaderIdempotencyKey carries a client-chosen request ID on
+// POST /tables/{name}/merge: the server applies each key at most once
+// and answers repeats from a bounded cache, making merge retries safe.
+const HeaderIdempotencyKey = "Idempotency-Key"
+
+// HeaderIdempotentReplay marks a merge response that was answered from
+// the dedupe cache rather than a fresh application.
+const HeaderIdempotentReplay = "X-Idempotent-Replay"
+
+// WALStats describes the write-ahead log in /statsz.
+type WALStats struct {
+	Dir        string `json:"dir"`
+	Fsync      string `json:"fsync"`
+	LSN        uint64 `json:"lsn"`
+	Checkpoint uint64 `json:"checkpoint"`
+	Segments   int    `json:"segments"`
+	Replayed   int64  `json:"replayed"`
+}
+
 // StatsResponse is the /statsz body.
 type StatsResponse struct {
-	Tables        int     `json:"tables"`
-	Shards        int     `json:"shards"`
-	ShardSizes    []int   `json:"shard_sizes"`
-	Method        string  `json:"method"`
-	StorageWords  int     `json:"storage_words"`
-	KeySpace      uint64  `json:"key_space"`
-	Strict        bool    `json:"strict"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Puts          int64   `json:"puts"`
-	Merges        int64   `json:"merges"`
-	Deletes       int64   `json:"deletes"`
-	Searches      int64   `json:"searches"`
-	Estimates     int64   `json:"estimates"`
-	Snapshots     int64   `json:"snapshots"`
-	Errors        int64   `json:"errors"`
-	SnapshotPath  string  `json:"snapshot_path,omitempty"`
-	LastSnapshot  string  `json:"last_snapshot_utc,omitempty"`
+	Tables        int       `json:"tables"`
+	Shards        int       `json:"shards"`
+	ShardSizes    []int     `json:"shard_sizes"`
+	Method        string    `json:"method"`
+	StorageWords  int       `json:"storage_words"`
+	KeySpace      uint64    `json:"key_space"`
+	Strict        bool      `json:"strict"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Puts          int64     `json:"puts"`
+	Merges        int64     `json:"merges"`
+	Deletes       int64     `json:"deletes"`
+	Searches      int64     `json:"searches"`
+	Estimates     int64     `json:"estimates"`
+	Snapshots     int64     `json:"snapshots"`
+	Errors        int64     `json:"errors"`
+	SnapshotPath  string    `json:"snapshot_path,omitempty"`
+	LastSnapshot  string    `json:"last_snapshot_utc,omitempty"`
+	Ready         bool      `json:"ready"`
+	Draining      bool      `json:"draining,omitempty"`
+	WAL           *WALStats `json:"wal,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -1,33 +1,142 @@
 // Package client is a small Go client for the sketchd HTTP API (the
 // service package): typed wrappers over the endpoints, sharing the wire
 // types so decoded results convert losslessly back to library values.
+//
+// The client is hardened for unreliable networks and daemon restarts:
+// every request runs under a timeout, connection errors and 5xx/503
+// responses are retried with exponential backoff plus jitter up to a
+// bounded attempt budget, and merge requests carry an Idempotency-Key
+// so a retried merge is answered from the daemon's dedupe cache instead
+// of double-applied (see DESIGN.md §11 for the per-endpoint table).
 package client
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
 	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	ipsketch "repro"
 	"repro/service"
 )
 
-// Client talks to one sketchd instance.
+// Defaults for a freshly constructed client; override with options.
+const (
+	DefaultTimeout     = 30 * time.Second
+	DefaultMaxAttempts = 4
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffCap  = 2 * time.Second
+)
+
+// Error is the typed failure of one client call, after retries. Status
+// is the HTTP status (0 for transport errors), Retryable reports
+// whether the failure class is safe to retry (the client already has,
+// up to its budget — the flag tells callers whether trying again later
+// could help), and Attempts counts the requests issued.
+type Error struct {
+	Op        string // "PUT /tables/x"
+	Status    int    // HTTP status; 0 when no response arrived
+	Message   string // server-provided error body, if any
+	Retryable bool
+	Attempts  int
+	Err       error // underlying transport/decode error, if any
+
+	retryAfter string // server-provided Retry-After, if any
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "client: %s", e.Op)
+	switch {
+	case e.Message != "":
+		fmt.Fprintf(&b, ": %s (HTTP %d)", e.Message, e.Status)
+	case e.Status != 0:
+		fmt.Fprintf(&b, ": HTTP %d", e.Status)
+	case e.Err != nil:
+		fmt.Fprintf(&b, ": %v", e.Err)
+	}
+	if e.Attempts > 1 {
+		fmt.Fprintf(&b, " (after %d attempts)", e.Attempts)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the underlying transport error for errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// StatusOf returns the HTTP status of a client failure, or 0 when err
+// is nil, not a client *Error, or a transport-level failure.
+func StatusOf(err error) int {
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce.Status
+	}
+	return 0
+}
+
+// IsRetryable reports whether err is a client *Error whose failure
+// class (connection error, timeout, 429/5xx) is safe to retry.
+func IsRetryable(err error) bool {
+	var ce *Error
+	return errors.As(err, &ce) && ce.Retryable
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transport, TLS, instrumentation). Its Timeout, when zero, is left
+// zero: pair with WithTimeout or manage deadlines via contexts.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithTimeout sets the per-attempt request timeout (0 disables).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.hc.Timeout = d }
+}
+
+// WithRetry bounds the retry budget: at most maxAttempts requests per
+// call (1 disables retries), exponential backoff starting at base.
+func WithRetry(maxAttempts int, base time.Duration) Option {
+	return func(c *Client) {
+		if maxAttempts >= 1 {
+			c.maxAttempts = maxAttempts
+		}
+		if base > 0 {
+			c.backoffBase = base
+		}
+	}
+}
+
+// Client talks to one sketchd instance. Safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base        string
+	hc          *http.Client
+	maxAttempts int
+	backoffBase time.Duration
+	backoffCap  time.Duration
+	jitterSeed  atomic.Uint64
 }
 
 // New returns a client for the daemon at baseURL (e.g.
-// "http://127.0.0.1:7207"). The default http.Client is used unless
-// overridden with SetHTTPClient.
-func New(baseURL string) (*Client, error) {
+// "http://127.0.0.1:7207"). The client gets its own http.Client with
+// DefaultTimeout and retries transient failures up to
+// DefaultMaxAttempts times; override with options.
+func New(baseURL string, opts ...Option) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, fmt.Errorf("client: parsing base URL: %w", err)
@@ -35,59 +144,175 @@ func New(baseURL string) (*Client, error) {
 	if u.Scheme != "http" && u.Scheme != "https" {
 		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
 	}
-	return &Client{base: strings.TrimRight(u.String(), "/"), hc: http.DefaultClient}, nil
+	c := &Client{
+		base:        strings.TrimRight(u.String(), "/"),
+		hc:          &http.Client{Timeout: DefaultTimeout},
+		maxAttempts: DefaultMaxAttempts,
+		backoffBase: DefaultBackoffBase,
+		backoffCap:  DefaultBackoffCap,
+	}
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		c.jitterSeed.Store(binary.LittleEndian.Uint64(seed[:]))
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
 }
 
 // SetHTTPClient overrides the underlying HTTP client (timeouts, transport).
 func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
 
-// do issues one request and decodes the JSON response into out.
-func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+// NewIdempotencyKey returns a fresh random request ID for the
+// Idempotency-Key header (128 bits, hex).
+func NewIdempotencyKey() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("client: generating idempotency key: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// retryable classifies a transport error. Connection failures and
+// timeouts are safe to retry; an explicit context cancellation is not.
+func retryableTransport(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	// Timeouts — the per-attempt client timeout or a context deadline —
+	// and connection errors (refused, reset, DNS) are all transient from
+	// the caller's point of view.
+	return true
+}
+
+// retryableStatus classifies an HTTP status.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code/100 == 5
+}
+
+// backoff returns the sleep before attempt n (0-based), exponential
+// with full jitter, honoring a server-provided Retry-After (seconds)
+// as a floor when present.
+func (c *Client) backoff(n int, retryAfter string) time.Duration {
+	d := c.backoffBase << uint(n)
+	if d > c.backoffCap || d <= 0 {
+		d = c.backoffCap
+	}
+	// xorshift on a per-client seed: cheap, lock-free jitter.
+	for {
+		s := c.jitterSeed.Load()
+		x := s
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if c.jitterSeed.CompareAndSwap(s, x) {
+			d = d/2 + time.Duration(x%uint64(d/2+1))
+			break
+		}
+	}
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			if floor := time.Duration(secs) * time.Second; floor > d && floor <= 10*time.Second {
+				d = floor
+			}
+		}
+	}
+	return d
+}
+
+// do issues one request — retrying transient failures when idempotent
+// is true — and decodes the JSON response into out. The body is
+// replayed from the byte slice on each attempt. context deadline
+// expiry surfaces as a typed retryable *Error (the failure class is
+// transient) even though the loop itself stops once ctx is done.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, headers map[string]string, idempotent bool, out any) error {
+	op := method + " " + path
+	attempts := c.maxAttempts
+	if !idempotent {
+		attempts = 1
+	}
+	var last *Error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.backoff(attempt-1, last.retryAfter)):
+			case <-ctx.Done():
+				last.Attempts = attempt
+				return last
+			}
+		}
+		last = c.attempt(ctx, method, path, contentType, body, headers, out)
+		if last == nil {
+			return nil
+		}
+		last.Attempts = attempt + 1
+		last.Op = op
+		if !last.Retryable || ctx.Err() != nil {
+			return last
+		}
+	}
+	return last
+}
+
+// attempt issues a single request. A nil return means success with out
+// populated; otherwise the *Error classifies the failure (Op and
+// Attempts are filled in by the caller).
+func (c *Client) attempt(ctx context.Context, method, path, contentType string, body []byte, headers map[string]string, out any) *Error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return &Error{Err: err}
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return &Error{Err: err, Retryable: retryableTransport(err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var e service.ErrorResponse
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		e := &Error{
+			Status:     resp.StatusCode,
+			Retryable:  retryableStatus(resp.StatusCode),
+			retryAfter: resp.Header.Get("Retry-After"),
 		}
-		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		var body service.ErrorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body) == nil && body.Error != "" {
+			e.Message = body.Error
+		}
+		return e
 	}
 	if out == nil {
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		return &Error{Err: fmt.Errorf("decoding response: %w", err)}
 	}
 	return nil
 }
 
 // doJSON marshals body as JSON and issues the request.
-func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any, headers map[string]string, idempotent bool) error {
 	enc, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	return c.do(ctx, method, path, "application/json", enc, out)
+	return c.do(ctx, method, path, "application/json", enc, headers, idempotent, out)
 }
 
 // PutTable ingests raw columns; the daemon sketches them server-side.
+// PUT replaces whole-sketch state, so retries are safe.
 func (c *Client) PutTable(ctx context.Context, name string, payload service.TablePayload) (service.PutResponse, error) {
 	var out service.PutResponse
-	err := c.doJSON(ctx, http.MethodPut, "/tables/"+url.PathEscape(name), payload, &out)
+	err := c.doJSON(ctx, http.MethodPut, "/tables/"+url.PathEscape(name), payload, &out, nil, true)
 	return out, err
 }
 
@@ -98,7 +323,7 @@ func (c *Client) PutSketch(ctx context.Context, name string, tsk *ipsketch.Table
 	if err != nil {
 		return out, err
 	}
-	err = c.do(ctx, http.MethodPut, "/tables/"+url.PathEscape(name), "application/octet-stream", blob, &out)
+	err = c.do(ctx, http.MethodPut, "/tables/"+url.PathEscape(name), "application/octet-stream", blob, nil, true, &out)
 	return out, err
 }
 
@@ -106,35 +331,61 @@ func (c *Client) PutSketch(ctx context.Context, name string, tsk *ipsketch.Table
 // server-side and folded into the cataloged sketch under name (created
 // when absent). Producers holding disjoint partitions of a table call
 // this independently; the daemon rolls the partials up atomically.
+// A fresh Idempotency-Key is generated per call, so retries (the
+// client's own and the caller's) cannot double-apply the partial.
 func (c *Client) MergeTable(ctx context.Context, name string, payload service.TablePayload) (service.MergeResponse, error) {
+	key, err := NewIdempotencyKey()
+	if err != nil {
+		return service.MergeResponse{}, err
+	}
+	return c.MergeTableTagged(ctx, name, payload, key)
+}
+
+// MergeTableTagged is MergeTable with a caller-chosen Idempotency-Key:
+// reuse one key across caller-level retries of the same logical merge.
+func (c *Client) MergeTableTagged(ctx context.Context, name string, payload service.TablePayload, key string) (service.MergeResponse, error) {
 	var out service.MergeResponse
-	err := c.doJSON(ctx, http.MethodPost, "/tables/"+url.PathEscape(name)+"/merge", payload, &out)
+	err := c.doJSON(ctx, http.MethodPost, "/tables/"+url.PathEscape(name)+"/merge", payload, &out,
+		map[string]string{service.HeaderIdempotencyKey: key}, key != "")
 	return out, err
 }
 
 // MergeSketch is MergeTable with a locally pre-built partial sketch
 // bundle, so the partition's raw columns never leave the producer.
 func (c *Client) MergeSketch(ctx context.Context, name string, tsk *ipsketch.TableSketch) (service.MergeResponse, error) {
+	key, err := NewIdempotencyKey()
+	if err != nil {
+		return service.MergeResponse{}, err
+	}
+	return c.MergeSketchTagged(ctx, name, tsk, key)
+}
+
+// MergeSketchTagged is MergeSketch with a caller-chosen Idempotency-Key.
+func (c *Client) MergeSketchTagged(ctx context.Context, name string, tsk *ipsketch.TableSketch, key string) (service.MergeResponse, error) {
 	var out service.MergeResponse
 	blob, err := tsk.MarshalBinary()
 	if err != nil {
 		return out, err
 	}
-	err = c.do(ctx, http.MethodPost, "/tables/"+url.PathEscape(name)+"/merge", "application/octet-stream", blob, &out)
+	err = c.do(ctx, http.MethodPost, "/tables/"+url.PathEscape(name)+"/merge", "application/octet-stream", blob,
+		map[string]string{service.HeaderIdempotencyKey: key}, key != "", &out)
 	return out, err
 }
 
 // DeleteTable removes a table; Removed reports whether it existed.
+// Note a retried DELETE whose first attempt succeeded reports
+// Removed=false (the table is already gone) — deletion is idempotent
+// in effect, not in response.
 func (c *Client) DeleteTable(ctx context.Context, name string) (bool, error) {
 	var out service.DeleteResponse
-	err := c.do(ctx, http.MethodDelete, "/tables/"+url.PathEscape(name), "", nil, &out)
+	err := c.do(ctx, http.MethodDelete, "/tables/"+url.PathEscape(name), "", nil, nil, true, &out)
 	return out.Removed, err
 }
 
 // Search ranks the catalog against the request's query column.
 func (c *Client) Search(ctx context.Context, req service.SearchRequest) ([]ipsketch.SearchResult, error) {
 	var out service.SearchResponse
-	if err := c.doJSON(ctx, http.MethodPost, "/search", req, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/search", req, &out, nil, true); err != nil {
 		return nil, err
 	}
 	results := make([]ipsketch.SearchResult, len(out.Results))
@@ -166,7 +417,7 @@ func (c *Client) SearchSketch(ctx context.Context, qSk *ipsketch.TableSketch, co
 // Estimate returns the pairwise join statistics of two cataloged tables.
 func (c *Client) Estimate(ctx context.Context, req service.EstimateRequest) (ipsketch.JoinStats, error) {
 	var out service.EstimateResponse
-	if err := c.doJSON(ctx, http.MethodPost, "/estimate", req, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/estimate", req, &out, nil, true); err != nil {
 		return ipsketch.JoinStats{}, err
 	}
 	return out.Stats.Stats(), nil
@@ -175,20 +426,51 @@ func (c *Client) Estimate(ctx context.Context, req service.EstimateRequest) (ips
 // Snapshot asks the daemon to persist its catalog.
 func (c *Client) Snapshot(ctx context.Context) (service.SnapshotResponse, error) {
 	var out service.SnapshotResponse
-	err := c.do(ctx, http.MethodPost, "/snapshot", "", nil, &out)
+	err := c.do(ctx, http.MethodPost, "/snapshot", "", nil, nil, true, &out)
 	return out, err
 }
 
 // Health returns the daemon's liveness report.
 func (c *Client) Health(ctx context.Context) (service.HealthResponse, error) {
 	var out service.HealthResponse
-	err := c.do(ctx, http.MethodGet, "/healthz", "", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/healthz", "", nil, nil, true, &out)
 	return out, err
+}
+
+// Ready probes /readyz once — no retries, so pollers control their own
+// cadence. nil means the daemon is accepting traffic; a 503 *Error
+// means it is replaying or draining.
+func (c *Client) Ready(ctx context.Context) error {
+	var out service.ReadyResponse
+	if e := c.attempt(ctx, http.MethodGet, "/readyz", "", nil, nil, &out); e != nil {
+		e.Op = "GET /readyz"
+		e.Attempts = 1
+		return e
+	}
+	return nil
+}
+
+// WaitReady polls /readyz until the daemon is ready or ctx expires.
+func (c *Client) WaitReady(ctx context.Context) error {
+	for i := 0; ; i++ {
+		err := c.Ready(ctx)
+		if err == nil {
+			return nil
+		}
+		if !IsRetryable(err) {
+			return err
+		}
+		select {
+		case <-time.After(c.backoff(min(i, 4), "")):
+		case <-ctx.Done():
+			return fmt.Errorf("client: daemon not ready: %w (last: %v)", ctx.Err(), err)
+		}
+	}
 }
 
 // Stats returns the daemon's counters and configuration.
 func (c *Client) Stats(ctx context.Context) (service.StatsResponse, error) {
 	var out service.StatsResponse
-	err := c.do(ctx, http.MethodGet, "/statsz", "", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/statsz", "", nil, nil, true, &out)
 	return out, err
 }

@@ -10,11 +10,13 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	ipsketch "repro"
 	"repro/internal/catalog"
+	"repro/internal/wal"
 )
 
 // Config configures a Server.
@@ -37,6 +39,17 @@ type Config struct {
 	IngestLimit, SearchLimit int
 	// MaxBodyBytes bounds request bodies (0 = 256 MiB).
 	MaxBodyBytes int64
+	// WAL, when set, is the write-ahead log every successful mutation is
+	// appended to (before it is published) and the server replays on
+	// boot via ReplayWAL. A server with a WAL starts NOT ready: it
+	// rejects traffic (503, Retry-After) until ReplayWAL has run.
+	WAL *wal.Log
+	// RequestTimeout is the server-side deadline applied to every
+	// request's context (0 = none). Requests that exceed it while queued
+	// for a concurrency slot fail with 503.
+	RequestTimeout time.Duration
+	// DedupeCap bounds the merge idempotency-key LRU (0 = 1024).
+	DedupeCap int
 }
 
 // Server serves a sketch catalog over HTTP. Create with New, mount
@@ -46,12 +59,28 @@ type Server struct {
 	cat      *catalog.Catalog
 	sketcher *ipsketch.TableSketcher
 	mux      *http.ServeMux
+	handler  http.Handler
 	start    time.Time
 
 	ingestSem, searchSem chan struct{}
 
-	puts, merges, deletes, searches, estimates, snapshots, errs atomic.Int64
-	lastSnapshotUnixNano                                        atomic.Int64
+	// ready gates traffic: false while the boot replay runs. draining
+	// flips /readyz to 503 ahead of connection draining so load
+	// balancers stop routing here before shutdown.
+	ready, draining atomic.Bool
+	// walLogging suppresses the mutation hook during replay and
+	// snapshot restore (replayed mutations must not be re-logged).
+	walLogging atomic.Bool
+	// snapMu is the snapshot barrier: mutations hold it shared across
+	// append+publish, a snapshot capture holds it exclusively for the
+	// instant it reads (catalog view, WAL LSN) — the pair is consistent,
+	// which is what makes checkpoint truncation safe.
+	snapMu sync.RWMutex
+
+	dedupe dedupe
+
+	puts, merges, deletes, searches, estimates, snapshots, errs, replayed atomic.Int64
+	lastSnapshotUnixNano                                                  atomic.Int64
 }
 
 // New validates the configuration and returns a server with an empty
@@ -73,14 +102,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 256 << 20
 	}
+	if cfg.DedupeCap <= 0 {
+		cfg.DedupeCap = DefaultDedupeCap
+	}
 	s := &Server{
 		cfg:       cfg,
-		cat:       catalog.New(catalog.Options{Shards: cfg.Shards, Strict: !cfg.Lax}),
 		sketcher:  sketcher,
 		start:     time.Now(),
 		ingestSem: make(chan struct{}, cfg.IngestLimit),
 		searchSem: make(chan struct{}, cfg.SearchLimit),
 	}
+	s.dedupe.init(cfg.DedupeCap)
+	catOpts := catalog.Options{Shards: cfg.Shards, Strict: !cfg.Lax}
+	if cfg.WAL != nil {
+		catOpts.OnMutate = s.logMutation
+	}
+	s.cat = catalog.New(catOpts)
+	// A WAL-backed server is born not-ready: traffic is rejected until
+	// ReplayWAL has rebuilt the tail (which also enables logging).
+	s.ready.Store(cfg.WAL == nil)
+	s.walLogging.Store(false)
 	if !cfg.Lax {
 		// Pin the catalog to the server's own configuration up front, so
 		// the very first ingest — including a pre-built bundle upload — is
@@ -101,24 +142,164 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.handler = s.middleware(s.mux)
 	return s, nil
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler (readiness gate + request deadline
+// around the endpoint mux).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// middleware wraps the mux with the readiness gate and the server-side
+// request deadline. Liveness and diagnostics stay reachable while the
+// server is replaying; everything else gets 503 + Retry-After so
+// hardened clients back off and retry instead of failing the boot window.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			switch r.URL.Path {
+			case "/healthz", "/readyz", "/statsz":
+			default:
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusServiceUnavailable, errors.New("service: not ready (replaying)"))
+				return
+			}
+		}
+		if d := s.cfg.RequestTimeout; d > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// SetReady flips the readiness gate (the daemon calls this after boot
+// replay; tests use it directly).
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// StartDraining marks the server draining: /readyz turns 503 so load
+// balancers route away, while in-flight and already-connected requests
+// keep being served until the HTTP server's graceful shutdown completes.
+func (s *Server) StartDraining() {
+	s.draining.Store(true)
+	s.ready.Store(false)
+}
 
 // Catalog exposes the underlying catalog (for the daemon's boot-time
 // snapshot load and for tests).
 func (s *Server) Catalog() *catalog.Catalog { return s.cat }
 
+// DefaultDedupeCap is the merge idempotency LRU size when
+// Config.DedupeCap is zero.
+const DefaultDedupeCap = 1024
+
+// logMutation is the catalog's OnMutate hook: it appends the mutation to
+// the WAL (write-ahead: the catalog publishes only if the append
+// succeeds). Suppressed until ReplayWAL finishes, so snapshot restore
+// and replay never re-log what the log already holds.
+func (s *Server) logMutation(m catalog.Mutation) error {
+	if !s.walLogging.Load() {
+		return nil
+	}
+	var op wal.Op
+	switch m.Op {
+	case catalog.MutationPut:
+		op = wal.OpPut
+	case catalog.MutationMerge:
+		op = wal.OpMerge
+	case catalog.MutationDelete:
+		op = wal.OpDelete
+	default:
+		return fmt.Errorf("service: unloggable mutation op %d", m.Op)
+	}
+	var payload []byte
+	if m.Sketch != nil {
+		var err error
+		if payload, err = m.Sketch.MarshalBinary(); err != nil {
+			return fmt.Errorf("service: encoding WAL payload: %w", err)
+		}
+	}
+	_, err := s.cfg.WAL.Append(op, m.Name, m.Tag, payload)
+	return err
+}
+
+// ReplayWAL applies every logged mutation after the snapshot checkpoint
+// to the catalog, rebuilds the merge-dedupe state from logged request
+// IDs, then enables WAL logging and flips the server ready. Call once at
+// boot, after any snapshot restore and before serving traffic. A torn or
+// corrupt log tail stops the replay cleanly (see the WAL's TornNote);
+// only an unappliable record — which indicates real state divergence —
+// fails the boot.
+func (s *Server) ReplayWAL() (int, error) {
+	w := s.cfg.WAL
+	if w == nil {
+		return 0, errors.New("service: no WAL configured")
+	}
+	n, err := w.Replay(func(rec wal.Record) error {
+		switch rec.Op {
+		case wal.OpPut:
+			tsk, err := ipsketch.UnmarshalTableSketch(rec.Payload)
+			if err != nil {
+				return err
+			}
+			return s.cat.Put(tsk)
+		case wal.OpMerge:
+			tsk, err := ipsketch.UnmarshalTableSketch(rec.Payload)
+			if err != nil {
+				return err
+			}
+			merged, err := s.cat.Merge(tsk)
+			if err != nil {
+				return err
+			}
+			if rec.Tag != "" {
+				s.dedupe.record(rec.Tag, s.mergeResponse(rec.Name, merged, tsk))
+			}
+			return nil
+		case wal.OpDelete:
+			_, err := s.cat.Delete(rec.Name)
+			return err
+		}
+		return fmt.Errorf("service: unknown WAL op %v", rec.Op)
+	})
+	if err != nil {
+		return n, err
+	}
+	s.replayed.Store(int64(n))
+	s.walLogging.Store(true)
+	s.ready.Store(true)
+	return n, nil
+}
+
 // SaveSnapshot persists the catalog to the configured snapshot path.
+// With a WAL, the catalog view and the log position are captured under
+// the snapshot barrier, and after the snapshot is durable the WAL is
+// checkpointed: replayed-on-boot records ≤ the captured LSN are skipped
+// and fully-covered segments deleted.
 func (s *Server) SaveSnapshot() error {
 	if s.cfg.SnapshotPath == "" {
 		return errors.New("service: no snapshot path configured")
 	}
-	if err := s.cat.Save(s.cfg.SnapshotPath); err != nil {
-		return err
+	if s.cfg.WAL == nil {
+		if err := s.cat.Save(s.cfg.SnapshotPath); err != nil {
+			return err
+		}
+	} else {
+		s.snapMu.Lock()
+		ix := s.cat.Snapshot()
+		lsn := s.cfg.WAL.LSN()
+		s.snapMu.Unlock()
+		if err := catalog.SaveIndex(ix, s.cfg.SnapshotPath); err != nil {
+			return err
+		}
+		if lsn > s.cfg.WAL.CheckpointLSN() {
+			if err := s.cfg.WAL.Checkpoint(lsn); err != nil {
+				return err
+			}
+		}
 	}
 	s.snapshots.Add(1)
 	s.lastSnapshotUnixNano.Store(time.Now().UnixNano())
@@ -143,6 +324,84 @@ func pinSketch(ts *ipsketch.TableSketcher) (*ipsketch.TableSketch, error) {
 		return nil, err
 	}
 	return ts.SketchTable(tab)
+}
+
+// dedupe is the merge idempotency-key LRU: completed request IDs map to
+// their responses (bounded, FIFO eviction), and in-flight IDs park
+// duplicate requests until the first application finishes — a retried
+// merge is answered from the cache instead of double-applied.
+type dedupe struct {
+	mu       sync.Mutex
+	cap      int
+	done     map[string]MergeResponse
+	order    []string
+	inflight map[string]chan struct{}
+}
+
+func (d *dedupe) init(cap int) {
+	d.cap = cap
+	d.done = make(map[string]MergeResponse)
+	d.inflight = make(map[string]chan struct{})
+}
+
+// begin either returns the cached response for id (ok=true), or claims
+// id for this caller (ok=false): the caller must apply the merge and
+// call finish. Duplicates of an in-flight id wait for its outcome.
+func (d *dedupe) begin(ctx context.Context, id string) (MergeResponse, bool, error) {
+	for {
+		d.mu.Lock()
+		if resp, ok := d.done[id]; ok {
+			d.mu.Unlock()
+			return resp, true, nil
+		}
+		ch, ok := d.inflight[id]
+		if !ok {
+			d.inflight[id] = make(chan struct{})
+			d.mu.Unlock()
+			return MergeResponse{}, false, nil
+		}
+		d.mu.Unlock()
+		select {
+		case <-ch:
+			// Re-check: success lands in done; failure lets us retry the
+			// application ourselves.
+		case <-ctx.Done():
+			return MergeResponse{}, false, ctx.Err()
+		}
+	}
+}
+
+// finish resolves a claimed id: resp != nil caches the success, nil
+// releases the claim so a parked duplicate can try applying itself.
+func (d *dedupe) finish(id string, resp *MergeResponse) {
+	d.mu.Lock()
+	if resp != nil {
+		d.insertLocked(id, *resp)
+	}
+	if ch, ok := d.inflight[id]; ok {
+		delete(d.inflight, id)
+		close(ch)
+	}
+	d.mu.Unlock()
+}
+
+// record caches a completed id directly (the boot-replay path).
+func (d *dedupe) record(id string, resp MergeResponse) {
+	d.mu.Lock()
+	d.insertLocked(id, resp)
+	d.mu.Unlock()
+}
+
+func (d *dedupe) insertLocked(id string, resp MergeResponse) {
+	if _, ok := d.done[id]; ok {
+		return
+	}
+	d.done[id] = resp
+	d.order = append(d.order, id)
+	for len(d.order) > d.cap {
+		delete(d.done, d.order[0])
+		d.order = d.order[1:]
+	}
 }
 
 // acquire blocks for a concurrency slot until the request dies.
@@ -282,7 +541,10 @@ func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.cat.Put(tsk); err != nil {
+	s.snapMu.RLock()
+	err = s.cat.Put(tsk)
+	s.snapMu.RUnlock()
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -299,6 +561,12 @@ func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
 // endpoint. Producers holding disjoint partitions of a table each push
 // their partition (raw columns or a pre-built bundle) and the catalog
 // rolls them up atomically, so no producer ever needs the whole table.
+//
+// Merge is NOT idempotent for every sketch family (additive families
+// double-count), so a retried request must not re-apply: a client that
+// may retry sends an Idempotency-Key header, and the server answers a
+// repeated key from a bounded LRU of completed responses instead of
+// merging again. Logged keys survive restarts via WAL replay.
 func (s *Server) handleMergeTable(w http.ResponseWriter, r *http.Request) {
 	if err := s.acquire(r.Context(), s.ingestSem); err != nil {
 		s.writeError(w, http.StatusServiceUnavailable, err)
@@ -310,27 +578,58 @@ func (s *Server) handleMergeTable(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, errors.New("service: empty table name"))
 		return
 	}
+	id := r.Header.Get(HeaderIdempotencyKey)
+	if id != "" {
+		resp, seen, err := s.dedupe.begin(r.Context(), id)
+		if err != nil {
+			s.writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		if seen {
+			w.Header().Set(HeaderIdempotentReplay, "true")
+			s.writeJSON(w, resp)
+			return
+		}
+	}
 	tsk, err := s.ingestSketch(w, r, name)
 	if err != nil {
+		if id != "" {
+			s.dedupe.finish(id, nil)
+		}
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	merged, err := s.cat.Merge(tsk)
+	s.snapMu.RLock()
+	merged, err := s.cat.MergeTagged(tsk, id)
+	s.snapMu.RUnlock()
 	if err != nil {
+		if id != "" {
+			s.dedupe.finish(id, nil)
+		}
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.merges.Add(1)
-	out, _ := s.cat.Get(name)
-	if out == nil { // racing DELETE; report what this request contributed
-		out = tsk
+	resp := s.mergeResponse(name, merged, tsk)
+	if id != "" {
+		s.dedupe.finish(id, &resp)
 	}
-	s.writeJSON(w, MergeResponse{
+	s.writeJSON(w, resp)
+}
+
+// mergeResponse describes the cataloged sketch after a merge (falling
+// back to what this request contributed if a racing DELETE removed it).
+func (s *Server) mergeResponse(name string, merged bool, contributed *ipsketch.TableSketch) MergeResponse {
+	out, _ := s.cat.Get(name)
+	if out == nil {
+		out = contributed
+	}
+	return MergeResponse{
 		Table:        name,
 		Merged:       merged,
 		Columns:      out.Columns(),
 		StorageWords: Float(out.StorageWords()),
-	})
+	}
 }
 
 func (s *Server) handleDeleteTable(w http.ResponseWriter, r *http.Request) {
@@ -340,7 +639,13 @@ func (s *Server) handleDeleteTable(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.ingestSem }()
 	name := r.PathValue("name")
-	removed := s.cat.Remove(name)
+	s.snapMu.RLock()
+	removed, err := s.cat.Delete(name)
+	s.snapMu.RUnlock()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	if removed {
 		s.deletes.Add(1)
 	}
@@ -459,6 +764,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, HealthResponse{Status: "ok", Tables: s.cat.Len()})
 }
 
+// handleReadyz is the traffic-readiness probe, distinct from /healthz
+// liveness: 503 while the boot replay runs and while the server drains
+// ahead of shutdown, so load balancers route away without killing the
+// process's in-flight work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case !s.ready.Load():
+		status, code = "replaying", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ReadyResponse{Status: status, Tables: s.cat.Len()})
+}
+
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Tables:        s.cat.Len(),
@@ -477,9 +802,21 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Snapshots:     s.snapshots.Load(),
 		Errors:        s.errs.Load(),
 		SnapshotPath:  s.cfg.SnapshotPath,
+		Ready:         s.ready.Load(),
+		Draining:      s.draining.Load(),
 	}
 	if ns := s.lastSnapshotUnixNano.Load(); ns != 0 {
 		resp.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
+	if w := s.cfg.WAL; w != nil {
+		resp.WAL = &WALStats{
+			Dir:        w.Dir(),
+			Fsync:      w.Policy().String(),
+			LSN:        w.LSN(),
+			Checkpoint: w.CheckpointLSN(),
+			Segments:   w.Segments(),
+			Replayed:   s.replayed.Load(),
+		}
 	}
 	s.writeJSON(w, resp)
 }
