@@ -143,6 +143,45 @@ type dartHashable interface {
 	dartHashable()
 }
 
+// columnarScorer is implemented by backends that can pack many sketches
+// into contiguous structure-of-arrays storage and score them against a
+// pre-decoded query with a flat-array kernel — the search-side hot path.
+// Families without the capability transparently fall back to the decoded
+// per-candidate scorer, bit-identically.
+type columnarScorer interface {
+	newColumnarPack() columnarPack
+}
+
+// columnarPack accumulates table-sketch bundles of one family into flat
+// arrays at index build time. The first accepted payload pins the
+// construction parameters; addTable rejects (without mutating the pack)
+// any bundle that the pinned parameters cannot score, and those bundles
+// stay on the decoded path.
+type columnarPack interface {
+	// addTable appends one table's key-sketch payload plus the per-column
+	// value and squared-value payloads (parallel slices), reporting
+	// whether the bundle was packed.
+	addTable(key payload, vals, sqs []payload) bool
+	// prepare pre-decodes one query bundle (key, value, squared-value
+	// payloads of the query column) against the pack. A nil result means
+	// the query is incompatible with the packed parameters and the whole
+	// scan falls back to the decoded scorer.
+	prepare(qKey, qVal, qSq payload) columnarScan
+}
+
+// columnarScan scores packed candidates against one prepared query. Both
+// methods fill strided output rows with raw pairwise estimates; the
+// caller assembles JoinStats from them, so there is exactly one indirect
+// call per worker per scan — none per candidate.
+type columnarScan interface {
+	// scanTables fills out[3(t−lo)+{0,1,2}] = (join size, Σ V_A, Σ V_A²)
+	// against the key sketch of each packed table t in [lo, hi).
+	scanTables(lo, hi int, out []float64)
+	// scanColumns fills out[3(c−lo)+{0,1,2}] = (Σ V_B, Σ V_B², ⟨V_A,V_B⟩)
+	// for each packed column c in [lo, hi) (pack-wide column ordinals).
+	scanColumns(lo, hi int, out []float64)
+}
+
 // backends is the registry, indexed by Method. Each backend file populates
 // its slot from init; Methods() and the numMethods sentinel stay the
 // single source of truth for how many slots exist.

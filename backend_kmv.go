@@ -150,3 +150,92 @@ func (kmvBackend) estimateUnionSize(a, b payload) (float64, error) {
 	}
 	return kmv.UnionEstimate(pa, pb)
 }
+
+// newColumnarPack implements columnarScorer: three kmv.Cols (key, value,
+// and squared-value sketches) sharing one reference sketch for
+// compatibility checks. KMV is the family that gains the most from the
+// packed kernel — the decoded estimator allocates union and matched
+// slices for every pair, the kernel allocates nothing.
+func (kmvBackend) newColumnarPack() columnarPack { return &kmvPack{} }
+
+type kmvPack struct {
+	ref  *kmv.Sketch
+	keys *kmv.Cols
+	vals *kmv.Cols
+	sqs  *kmv.Cols
+}
+
+// kmvSketches asserts and compatibility-checks a bundle's payloads
+// against ref, returning nil on any mismatch.
+func kmvSketches(ref *kmv.Sketch, ps ...payload) []*kmv.Sketch {
+	out := make([]*kmv.Sketch, len(ps))
+	for i, p := range ps {
+		s, ok := p.(*kmv.Sketch)
+		if !ok || (ref != nil && kmv.Compatible(ref, s) != nil) {
+			return nil
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func (p *kmvPack) addTable(key payload, vals, sqs []payload) bool {
+	ks := kmvSketches(p.ref, key)
+	if ks == nil {
+		return false
+	}
+	ref := p.ref
+	if ref == nil {
+		ref = ks[0]
+	}
+	vs := kmvSketches(ref, vals...)
+	ss := kmvSketches(ref, sqs...)
+	if vs == nil || ss == nil {
+		return false
+	}
+	if p.ref == nil {
+		p.ref = ref
+		p.keys = kmv.NewCols(ref.Params())
+		p.vals = kmv.NewCols(ref.Params())
+		p.sqs = kmv.NewCols(ref.Params())
+	}
+	p.keys.Append(ks[0])
+	for i := range vs {
+		p.vals.Append(vs[i])
+		p.sqs.Append(ss[i])
+	}
+	return true
+}
+
+func (p *kmvPack) prepare(qKey, qVal, qSq payload) columnarScan {
+	if p.ref == nil {
+		return nil
+	}
+	qs := kmvSketches(p.ref, qKey, qVal, qSq)
+	if qs == nil {
+		return nil
+	}
+	return &kmvScan{p: p, qKey: qs[0], tblQ: qs[1:], colQ: qs[:2], sqQ: qs[:1]}
+}
+
+// kmvScan is read-only after prepare; workers scan disjoint ranges of the
+// pack concurrently through it.
+type kmvScan struct {
+	p    *kmvPack
+	qKey *kmv.Sketch   // join-size threshold estimate vs key sketches
+	tblQ []*kmv.Sketch // qVal, qSq vs key sketches
+	colQ []*kmv.Sketch // qKey, qVal vs value sketches
+	sqQ  []*kmv.Sketch // qKey vs squared-value sketches
+}
+
+// scanTables: KMV registers joinSizeEstimator, so the size slot carries
+// the threshold |A∩B| estimate, not the inner-product reduction.
+func (s *kmvScan) scanTables(lo, hi int, out []float64) {
+	s.p.keys.ScanJoinSize(s.qKey, lo, hi, out, 3, 0)
+	s.p.keys.Scan(s.tblQ, lo, hi, out, 3, colsOffTblTail)
+}
+
+func (s *kmvScan) scanColumns(lo, hi int, out []float64) {
+	s.p.vals.Scan(s.colQ, lo, hi, out, 3, colsOffSumIP)
+	s.p.sqs.Scan(s.sqQ, lo, hi, out, 3, colsOffSumSq)
+}

@@ -124,3 +124,92 @@ func (mhBackend) estimateUnionSize(a, b payload) (float64, error) {
 	}
 	return minhash.UnionEstimate(pa, pb)
 }
+
+// newColumnarPack implements columnarScorer: three minhash.Cols (key,
+// value, and squared-value sketches) sharing one reference sketch for
+// compatibility checks.
+func (mhBackend) newColumnarPack() columnarPack { return &mhPack{} }
+
+type mhPack struct {
+	ref  *minhash.Sketch
+	keys *minhash.Cols
+	vals *minhash.Cols
+	sqs  *minhash.Cols
+}
+
+// mhSketches asserts and compatibility-checks a bundle's payloads against
+// ref, returning nil on any mismatch (the bundle then stays decoded).
+func mhSketches(ref *minhash.Sketch, ps ...payload) []*minhash.Sketch {
+	out := make([]*minhash.Sketch, len(ps))
+	for i, p := range ps {
+		s, ok := p.(*minhash.Sketch)
+		if !ok || (ref != nil && minhash.Compatible(ref, s) != nil) {
+			return nil
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func (p *mhPack) addTable(key payload, vals, sqs []payload) bool {
+	ks := mhSketches(p.ref, key)
+	if ks == nil {
+		return false
+	}
+	ref := p.ref
+	if ref == nil {
+		ref = ks[0]
+	}
+	vs := mhSketches(ref, vals...)
+	ss := mhSketches(ref, sqs...)
+	if vs == nil || ss == nil {
+		return false
+	}
+	if p.ref == nil {
+		// Pin the reference only once a bundle actually packs, so a
+		// rejected first bundle cannot poison the pack's parameters.
+		p.ref = ref
+		p.keys = minhash.NewCols(ref.Params())
+		p.vals = minhash.NewCols(ref.Params())
+		p.sqs = minhash.NewCols(ref.Params())
+	}
+	p.keys.Append(ks[0])
+	for i := range vs {
+		p.vals.Append(vs[i])
+		p.sqs.Append(ss[i])
+	}
+	return true
+}
+
+func (p *mhPack) prepare(qKey, qVal, qSq payload) columnarScan {
+	if p.ref == nil {
+		return nil
+	}
+	qs := mhSketches(p.ref, qKey, qVal, qSq)
+	if qs == nil {
+		return nil
+	}
+	return &mhScan{p: p, tblQ: qs, colQ: qs[:2], sqQ: qs[:1]}
+}
+
+// mhScan is read-only after prepare; workers scan disjoint ranges of the
+// pack concurrently through it.
+type mhScan struct {
+	p    *mhPack
+	tblQ []*minhash.Sketch // qKey, qVal, qSq vs key sketches
+	colQ []*minhash.Sketch // qKey, qVal vs value sketches
+	sqQ  []*minhash.Sketch // qKey vs squared-value sketches
+}
+
+// scanTables: size (MH has no dedicated join-size estimator, so
+// EstimateJoinSize reduces to Estimate), ΣV_A, ΣV_A² against each key.
+func (s *mhScan) scanTables(lo, hi int, out []float64) {
+	s.p.keys.Scan(s.tblQ, lo, hi, out, 3, colsOffTables)
+}
+
+// scanColumns: ΣV_B and ⟨V_A,V_B⟩ from the value pack, ΣV_B² from the
+// squared-value pack.
+func (s *mhScan) scanColumns(lo, hi int, out []float64) {
+	s.p.vals.Scan(s.colQ, lo, hi, out, 3, colsOffSumIP)
+	s.p.sqs.Scan(s.sqQ, lo, hi, out, 3, colsOffSumSq)
+}

@@ -106,3 +106,97 @@ func (be psampleBackend) unmarshal(data []byte) (payload, error) {
 	}
 	return s, nil
 }
+
+// newColumnarPack implements columnarScorer: three psample.Cols (key,
+// value, and squared-value samples) sharing one reference sketch for
+// compatibility checks; Mode is part of Params, so one pack never mixes
+// priority and threshold samples.
+func (be psampleBackend) newColumnarPack() columnarPack { return &psPack{} }
+
+type psPack struct {
+	ref  *psample.Sketch
+	keys *psample.Cols
+	vals *psample.Cols
+	sqs  *psample.Cols
+}
+
+// psSketches asserts and compatibility-checks a bundle's payloads against
+// ref, returning nil on any mismatch.
+func psSketches(ref *psample.Sketch, ps ...payload) []*psample.Sketch {
+	out := make([]*psample.Sketch, len(ps))
+	for i, p := range ps {
+		s, ok := p.(*psample.Sketch)
+		if !ok || (ref != nil && psample.Compatible(ref, s) != nil) {
+			return nil
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func (p *psPack) addTable(key payload, vals, sqs []payload) bool {
+	ks := psSketches(p.ref, key)
+	if ks == nil {
+		return false
+	}
+	ref := p.ref
+	if ref == nil {
+		ref = ks[0]
+	}
+	vs := psSketches(ref, vals...)
+	ss := psSketches(ref, sqs...)
+	if vs == nil || ss == nil {
+		return false
+	}
+	if p.ref == nil {
+		p.ref = ref
+		p.keys = psample.NewCols(ref.Params())
+		p.vals = psample.NewCols(ref.Params())
+		p.sqs = psample.NewCols(ref.Params())
+	}
+	p.keys.Append(ks[0])
+	for i := range vs {
+		p.vals.Append(vs[i])
+		p.sqs.Append(ss[i])
+	}
+	return true
+}
+
+func (p *psPack) prepare(qKey, qVal, qSq payload) columnarScan {
+	if p.ref == nil {
+		return nil
+	}
+	qs := psSketches(p.ref, qKey, qVal, qSq)
+	if qs == nil {
+		return nil
+	}
+	// Pre-decode: each query sample's inclusion probability is computed
+	// once per search here, not once per match per candidate.
+	qKeyQ := psample.NewQuery(qs[0])
+	qValQ := psample.NewQuery(qs[1])
+	qSqQ := psample.NewQuery(qs[2])
+	return &psScan{
+		p:    p,
+		tblQ: []*psample.Query{qKeyQ, qValQ, qSqQ},
+		colQ: []*psample.Query{qKeyQ, qValQ},
+		sqQ:  []*psample.Query{qKeyQ},
+	}
+}
+
+// psScan is read-only after prepare; workers scan disjoint ranges of the
+// pack concurrently through it.
+type psScan struct {
+	p    *psPack
+	tblQ []*psample.Query // qKey, qVal, qSq vs key samples
+	colQ []*psample.Query // qKey, qVal vs value samples
+	sqQ  []*psample.Query // qKey vs squared-value samples
+}
+
+func (s *psScan) scanTables(lo, hi int, out []float64) {
+	s.p.keys.Scan(s.tblQ, lo, hi, out, 3, colsOffTables)
+}
+
+func (s *psScan) scanColumns(lo, hi int, out []float64) {
+	s.p.vals.Scan(s.colQ, lo, hi, out, 3, colsOffSumIP)
+	s.p.sqs.Scan(s.sqQ, lo, hi, out, 3, colsOffSumSq)
+}

@@ -138,6 +138,91 @@ func (wmhBackend) estimateJaccard(a, b payload) (float64, error) {
 	return wmh.WeightedJaccardEstimate(pa, pb)
 }
 
+// newColumnarPack implements columnarScorer: three wmh.Cols (key, value,
+// and squared-value sketches) sharing one reference sketch for
+// compatibility checks (params, resolved L, and construction variant all
+// pin through wmh.Compatible, so dart and record-process sketches never
+// mix in one pack).
+func (wmhBackend) newColumnarPack() columnarPack { return &wmhPack{} }
+
+type wmhPack struct {
+	ref  *wmh.Sketch
+	keys *wmh.Cols
+	vals *wmh.Cols
+	sqs  *wmh.Cols
+}
+
+// wmhSketches asserts and compatibility-checks a bundle's payloads
+// against ref, returning nil on any mismatch.
+func wmhSketches(ref *wmh.Sketch, ps ...payload) []*wmh.Sketch {
+	out := make([]*wmh.Sketch, len(ps))
+	for i, p := range ps {
+		s, ok := p.(*wmh.Sketch)
+		if !ok || (ref != nil && wmh.Compatible(ref, s) != nil) {
+			return nil
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func (p *wmhPack) addTable(key payload, vals, sqs []payload) bool {
+	ks := wmhSketches(p.ref, key)
+	if ks == nil {
+		return false
+	}
+	ref := p.ref
+	if ref == nil {
+		ref = ks[0]
+	}
+	vs := wmhSketches(ref, vals...)
+	ss := wmhSketches(ref, sqs...)
+	if vs == nil || ss == nil {
+		return false
+	}
+	if p.ref == nil {
+		p.ref = ref
+		p.keys = wmh.NewCols(ref)
+		p.vals = wmh.NewCols(ref)
+		p.sqs = wmh.NewCols(ref)
+	}
+	p.keys.Append(ks[0])
+	for i := range vs {
+		p.vals.Append(vs[i])
+		p.sqs.Append(ss[i])
+	}
+	return true
+}
+
+func (p *wmhPack) prepare(qKey, qVal, qSq payload) columnarScan {
+	if p.ref == nil {
+		return nil
+	}
+	qs := wmhSketches(p.ref, qKey, qVal, qSq)
+	if qs == nil {
+		return nil
+	}
+	return &wmhScan{p: p, tblQ: qs, colQ: qs[:2], sqQ: qs[:1]}
+}
+
+// wmhScan is read-only after prepare; workers scan disjoint ranges of the
+// pack concurrently through it.
+type wmhScan struct {
+	p    *wmhPack
+	tblQ []*wmh.Sketch // qKey, qVal, qSq vs key sketches
+	colQ []*wmh.Sketch // qKey, qVal vs value sketches
+	sqQ  []*wmh.Sketch // qKey vs squared-value sketches
+}
+
+func (s *wmhScan) scanTables(lo, hi int, out []float64) {
+	s.p.keys.Scan(s.tblQ, lo, hi, out, 3, colsOffTables)
+}
+
+func (s *wmhScan) scanColumns(lo, hi int, out []float64) {
+	s.p.vals.Scan(s.colQ, lo, hi, out, 3, colsOffSumIP)
+	s.p.sqs.Scan(s.sqQ, lo, hi, out, 3, colsOffSumSq)
+}
+
 // quantizable marks that Config.Quantize is honored.
 func (wmhBackend) quantizable() {}
 

@@ -3,14 +3,15 @@
 // perf trajectory: each PR that touches a hot path records before/after
 // numbers in a new report, so regressions are a diff away.
 //
-//	go run ./cmd/benchreport -o BENCH_6.json
+//	go run ./cmd/benchreport -o BENCH_7.json
 //	go run ./cmd/benchreport -bench 'BenchmarkSearch' -benchtime 2s -count 3
 //
 // The default benchmark set covers the sketching engine's hot paths:
 // per-method sketch construction and estimation (every registered method,
 // including the priority/threshold sampling backends), batch sketching,
-// top-k index search, and the serving layer (catalog ingest at one and
-// all cores, end-to-end HTTP /search and ingest latency).
+// top-k index search, the columnar-vs-decoded scan sweep (cols/s across
+// the GOMAXPROCS ladder), and the serving layer (catalog ingest at one
+// and all cores, end-to-end HTTP /search and ingest latency).
 // Figure-regeneration benchmarks are excluded (they measure
 // reproduction accuracy, not throughput; run them with plain `go test
 // -bench`).
@@ -36,10 +37,12 @@ import (
 // paths including the dart variants; BenchmarkSketchICWS_ the ICWS batch
 // and builder (allocation-regression) benches; BenchmarkMerge_ the
 // per-family sketch-merge hot paths and BenchmarkChunkedIngest the
-// chunked bulk-ingest front end (parallel vs serial pair).
+// chunked bulk-ingest front end (parallel vs serial pair);
+// BenchmarkScan the columnar-vs-decoded search scan per family across
+// the GOMAXPROCS ladder (the cols/s metric).
 const defaultBench = "BenchmarkSketch_|BenchmarkEstimate_|BenchmarkSketchWMH_|" +
 	"BenchmarkSketchMH_Batch|BenchmarkSketchICWS_|BenchmarkEstimateMany_|BenchmarkSearch|" +
-	"BenchmarkCatalog|BenchmarkService|BenchmarkMerge_|BenchmarkChunkedIngest"
+	"BenchmarkCatalog|BenchmarkService|BenchmarkMerge_|BenchmarkChunkedIngest|BenchmarkScan"
 
 // defaultPkgs are the packages holding those benchmarks.
 const defaultPkgs = ".,./internal/catalog,./service"
@@ -68,7 +71,7 @@ type Benchmark struct {
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_6.json", "output file ('-' for stdout)")
+		out       = flag.String("o", "BENCH_7.json", "output file ('-' for stdout)")
 		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value; the best run per benchmark is kept")

@@ -1,0 +1,164 @@
+package ipsketch
+
+import "sort"
+
+// This file is the structure-of-arrays scan path of SketchIndex: at build
+// time every packable entry's sketch bundle is appended to one
+// family-specific columnar pack (contiguous hash/value arrays plus
+// per-sketch aux words), and at search time the pre-decoded query streams
+// those flat arrays with zero per-candidate decoding, map lookups, or
+// interface dispatch — the numba-kernel shape of the related sampling
+// repos, specialized per family behind the columnarScorer capability.
+// Entries the pack rejects (different method, key space, or construction
+// parameters) transparently stay on the decoded EstimateJoinStats path,
+// and both paths assemble JoinStats through the same helper, so rankings
+// are bit-identical either way.
+
+// Strided output offsets shared by every family's columnarScan: table
+// rows are (size, ΣV_A, ΣV_A²), column rows are (ΣV_B, ΣV_B², ⟨V_A,V_B⟩).
+var (
+	colsOffTables  = []int{0, 1, 2} // qKey, qVal, qSq vs key sketches
+	colsOffTblTail = []int{1, 2}    // qVal, qSq when the size slot is scanned separately
+	colsOffSumIP   = []int{0, 2}    // qKey → ΣV_B, qVal → ⟨V_A,V_B⟩ vs value sketches
+	colsOffSumSq   = []int{1}       // qKey → ΣV_B² vs squared-value sketches
+)
+
+// columnarView is the packed form of one index snapshot. It is immutable
+// after buildColumnarView returns; concurrent searches share it freely.
+type columnarView struct {
+	method   Method
+	keySpace uint64
+	pk       columnarPack
+	// ents lists the packed entry positions in ascending scan order;
+	// packed table t corresponds to index entry ents[t].
+	ents []int
+	// colOff is a len(ents)+1 prefix-sum: packed table t's columns occupy
+	// pack-wide column ordinals [colOff[t], colOff[t+1]), in the entry's
+	// sorted Columns() order.
+	colOff []int
+	// packed flags every index entry position the pack accepted, so the
+	// fallback loop can skip them.
+	packed []bool
+}
+
+// buildColumnarView packs entries into a fresh view, or returns nil when
+// nothing is packable. The family is chosen by the first entry whose
+// backend implements columnarScorer; entries of other methods (or
+// incompatible parameters) stay decoded.
+func buildColumnarView(entries []*TableSketch) *columnarView {
+	var v *columnarView
+	for ent, e := range entries {
+		if e == nil || e.key == nil || e.key.payload == nil {
+			continue
+		}
+		cols := e.Columns()
+		if len(cols) == 0 {
+			continue // nothing to score; keep it off the pack
+		}
+		if v == nil {
+			be, err := backendFor(e.key.method)
+			if err != nil {
+				continue
+			}
+			cs, ok := be.(columnarScorer)
+			if !ok {
+				continue
+			}
+			v = &columnarView{
+				method:   e.key.method,
+				keySpace: e.keySpace,
+				pk:       cs.newColumnarPack(),
+				colOff:   []int{0},
+				packed:   make([]bool, len(entries)),
+			}
+		}
+		if e.key.method != v.method || e.keySpace != v.keySpace {
+			continue
+		}
+		vals := make([]payload, 0, len(cols))
+		sqs := make([]payload, 0, len(cols))
+		ok := true
+		for _, c := range cols {
+			vsk, ssk := e.val[c], e.sqVal[c]
+			if vsk == nil || ssk == nil ||
+				vsk.method != v.method || ssk.method != v.method ||
+				vsk.payload == nil || ssk.payload == nil {
+				ok = false
+				break
+			}
+			vals = append(vals, vsk.payload)
+			sqs = append(sqs, ssk.payload)
+		}
+		if !ok || !v.pk.addTable(e.key.payload, vals, sqs) {
+			continue
+		}
+		v.ents = append(v.ents, ent)
+		v.colOff = append(v.colOff, v.colOff[len(v.colOff)-1]+len(cols))
+		v.packed[ent] = true
+	}
+	if v == nil || len(v.ents) == 0 {
+		return nil
+	}
+	return v
+}
+
+// prepare pre-decodes the query against the pack. nil means the query
+// cannot use the packed path (missing column, key-space/method/parameter
+// mismatch) and the whole search falls back to the decoded scorer —
+// including its error semantics, which is why prepare never errors.
+func (v *columnarView) prepare(query *TableSketch, queryCol string) columnarScan {
+	if query.keySpace != v.keySpace || query.key == nil || query.key.payload == nil {
+		return nil
+	}
+	qVal, ok := query.val[queryCol]
+	qSq := query.sqVal[queryCol]
+	if !ok || qVal == nil || qSq == nil || qVal.payload == nil || qSq.payload == nil {
+		return nil
+	}
+	if query.key.method != v.method || qVal.method != v.method || qSq.method != v.method {
+		return nil
+	}
+	return v.pk.prepare(query.key.payload, qVal.payload, qSq.payload)
+}
+
+// tableRange maps a worker's entry range [lo, hi) to the packed table
+// range whose entries fall inside it.
+func (v *columnarView) tableRange(lo, hi int) (tLo, tHi int) {
+	return sort.SearchInts(v.ents, lo), sort.SearchInts(v.ents, hi)
+}
+
+// BuildColumnar packs the index's entries into the columnar scan view and
+// returns the number of entries packed. The catalog calls this once per
+// copy-on-write publish, so every reader scans packed; library users call
+// it after loading a static index. Add and Remove invalidate the view
+// (searches fall back to the decoded scorer until the next build).
+func (ix *SketchIndex) BuildColumnar() int {
+	ix.view = buildColumnarView(ix.entries)
+	if ix.view == nil {
+		return 0
+	}
+	return len(ix.view.ents)
+}
+
+// ScanStats counts what one search's scan did, for observability: how
+// many candidate columns were scored, how many the minJoinSize filter
+// pruned, and how the scoring split between the packed kernel and the
+// decoded fallback.
+type ScanStats struct {
+	// Candidates is the number of candidate columns scored (the query's
+	// own table is excluded before scoring).
+	Candidates int64
+	// Pruned counts scored candidates dropped by the minJoinSize filter.
+	Pruned int64
+	// Columnar and Fallback split Candidates by scoring path.
+	Columnar int64
+	Fallback int64
+}
+
+// Add accumulates o into s.
+func (s *ScanStats) Add(o ScanStats) {
+	s.Candidates += o.Candidates
+	s.Pruned += o.Pruned
+	s.Columnar += o.Columnar
+	s.Fallback += o.Fallback
+}

@@ -1,0 +1,404 @@
+package ipsketch
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+// columnarFamilies lists every family the columnar kernel packs, with the
+// construction variants that exercise distinct hot loops (the dart and
+// record-process WMH sketches share an estimator but not a construction).
+var columnarFamilies = []struct {
+	name string
+	cfg  Config
+}{
+	{"MH", Config{Method: MethodMH, StorageWords: 300, Seed: 11}},
+	{"WMH", Config{Method: MethodWMH, StorageWords: 300, Seed: 12}},
+	{"WMH-dart", Config{Method: MethodWMH, StorageWords: 300, Seed: 13, Dart: true}},
+	{"KMV", Config{Method: MethodKMV, StorageWords: 300, Seed: 14}},
+	{"PS", Config{Method: MethodPS, StorageWords: 300, Seed: 15}},
+	{"TS", Config{Method: MethodTS, StorageWords: 300, Seed: 16}},
+}
+
+// buildColumnarFixture sketches a randomized catalog under cfg: nTables
+// tables with 1–3 columns each, key sets ranging from heavy query overlap
+// to fully disjoint, plus an all-zero column (an empty value sketch). The
+// returned index has NOT had BuildColumnar called.
+func buildColumnarFixture(t testing.TB, cfg Config, seed uint64, nTables int) (*TableSketch, *SketchIndex) {
+	t.Helper()
+	rng := hashing.NewSplitMix64(seed)
+	const n = 200
+	ts, err := NewTableSketcher(cfg, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qKeys := make([]uint64, n)
+	qVals := make([]float64, n)
+	for i := range qKeys {
+		qKeys[i] = uint64(i)
+		qVals[i] = rng.Norm()
+	}
+	query, err := NewTable("query", qKeys, map[string][]float64{"v": qVals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSk, err := ts.SketchTable(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ix := NewSketchIndex()
+	for i := 0; i < nTables; i++ {
+		rows := 50 + rng.Intn(100)
+		keys := make([]uint64, rows)
+		for j := range keys {
+			switch i % 4 {
+			case 0: // heavy overlap with the query's 0..n-1 keys
+				keys[j] = uint64(j)
+			case 1: // partial overlap
+				keys[j] = uint64(3*j + 1)
+			case 2: // disjoint
+				keys[j] = uint64(100000 + i*1000 + j)
+			default: // even keys: half overlap
+				keys[j] = uint64(2 * j)
+			}
+		}
+		cols := map[string][]float64{}
+		for c := 0; c <= i%3; c++ {
+			vals := make([]float64, rows)
+			for j := range vals {
+				switch {
+				case i%4 == 3 && c == 0:
+					// all-zero column: the value sketches are empty
+				case i%2 == 0 && int(keys[j]) < n:
+					vals[j] = 0.8*qVals[keys[j]] + 0.2*rng.Norm()
+				default:
+					vals[j] = rng.Norm()
+				}
+			}
+			cols[fmt.Sprintf("c%d", c)] = vals
+		}
+		// Names whose sort order differs from insertion order.
+		name := fmt.Sprintf("%c%02d", 'a'+(i*7)%26, i)
+		tab, err := NewTable(name, keys, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := ts.SketchTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Add(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return qSk, ix
+}
+
+// TestColumnarSearchEquivalence: for every packable family, rankings from
+// the packed kernel must be byte-identical to the decoded path — same
+// results, same tie order, same NaN statistics — across every RankBy,
+// minJoinSize, and k shape (0, 1, mid, exact, beyond, unbounded).
+func TestColumnarSearchEquivalence(t *testing.T) {
+	for _, fam := range columnarFamilies {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			qSk, ix := buildColumnarFixture(t, fam.cfg, 1000+fam.cfg.Seed, 18)
+			for _, by := range []RankBy{RankByJoinSize, RankByAbsCorrelation, RankByAbsInnerProduct} {
+				for _, minJoin := range []float64{0, 25} {
+					decoded, dStats, err := ix.SearchTopKStats(qSk, "v", by, minJoin, -1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if dStats.Columnar != 0 || dStats.Fallback != dStats.Candidates {
+						t.Fatalf("pre-build stats claim columnar scoring: %+v", dStats)
+					}
+					packed := ix.BuildColumnar()
+					if packed != ix.Len() {
+						t.Fatalf("packed %d of %d entries", packed, ix.Len())
+					}
+					n := len(decoded)
+					for _, k := range []int{0, 1, n / 2, n, n + 7, -1} {
+						got, cStats, err := ix.SearchTopKStats(qSk, "v", by, minJoin, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if k != 0 {
+							if cStats.Fallback != 0 || cStats.Columnar != cStats.Candidates {
+								t.Fatalf("post-build stats claim fallback scoring: %+v", cStats)
+							}
+							if cStats.Candidates != dStats.Candidates || cStats.Pruned != dStats.Pruned {
+								t.Fatalf("counters diverge: columnar %+v decoded %+v", cStats, dStats)
+							}
+						}
+						want := decoded
+						if k >= 0 && len(want) > k {
+							want = want[:k]
+						}
+						if len(got) != len(want) {
+							t.Fatalf("by=%d minJoin=%v k=%d: %d results, want %d", by, minJoin, k, len(got), len(want))
+						}
+						for i := range got {
+							if !resultsIdentical(got[i], want[i]) {
+								t.Fatalf("by=%d minJoin=%v k=%d: result %d differs:\ncolumnar %+v\ndecoded  %+v",
+									by, minJoin, k, i, got[i], want[i])
+							}
+						}
+					}
+					// Invalidate for the next decoded baseline.
+					ix.view = nil
+				}
+			}
+		})
+	}
+}
+
+// TestColumnarStrictIndexEquivalence: a strict index runs the packed scan
+// under the once-per-search pin check; its rankings must match the lax
+// decoded scan bit for bit.
+func TestColumnarStrictIndexEquivalence(t *testing.T) {
+	for _, fam := range columnarFamilies {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			qSk, lax := buildColumnarFixture(t, fam.cfg, 2000+fam.cfg.Seed, 12)
+			strict := NewStrictSketchIndex()
+			for _, e := range lax.entries {
+				if err := strict.Add(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, _, err := lax.SearchTopKStats(qSk, "v", RankByAbsCorrelation, 0, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			strict.BuildColumnar()
+			got, stats, err := strict.SearchTopKStats(qSk, "v", RankByAbsCorrelation, 0, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Columnar == 0 {
+				t.Fatal("strict search never hit the packed kernel")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%d results, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if !resultsIdentical(got[i], want[i]) {
+					t.Fatalf("result %d differs: %+v vs %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// mixedSeedIndex builds a lax index where the entry at position bad was
+// sketched under a different seed, so estimating against it fails.
+func mixedSeedIndex(t *testing.T, bad int) (*TableSketch, *SketchIndex) {
+	t.Helper()
+	keys := make([]uint64, 80)
+	vals := make([]float64, 80)
+	rng := hashing.NewSplitMix64(5)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = rng.Norm()
+	}
+	good, err := NewTableSketcher(Config{Method: MethodWMH, StorageWords: 200, Seed: 1}, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil, err := NewTableSketcher(Config{Method: MethodWMH, StorageWords: 200, Seed: 99}, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := NewTable("query", keys, map[string][]float64{"v": vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSk, err := good.SketchTable(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewSketchIndex()
+	for i := 0; i < 6; i++ {
+		ts := good
+		if i == bad {
+			ts = evil
+		}
+		tab, err := NewTable(fmt.Sprintf("t%d", i), keys, map[string][]float64{"w": vals})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := ts.SketchTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Add(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return qSk, ix
+}
+
+// TestColumnarErrorOrderMixedSeed: an incompatible entry in a lax index
+// must produce the identical first-error-in-scan-order failure whether the
+// compatible entries score packed or decoded — including when the bad
+// entry is first, which pins the pack to parameters the query cannot
+// prepare against (full decoded fallback).
+func TestColumnarErrorOrderMixedSeed(t *testing.T) {
+	for _, bad := range []int{0, 3} {
+		qSk, ix := mixedSeedIndex(t, bad)
+		_, err := ix.SearchTopK(qSk, "v", RankByJoinSize, 0, -1)
+		if err == nil {
+			t.Fatalf("bad=%d: decoded search accepted incompatible entry", bad)
+		}
+		ix.BuildColumnar()
+		_, err2 := ix.SearchTopK(qSk, "v", RankByJoinSize, 0, -1)
+		if err2 == nil {
+			t.Fatalf("bad=%d: packed search accepted incompatible entry", bad)
+		}
+		if err.Error() != err2.Error() {
+			t.Fatalf("bad=%d: error diverges:\ndecoded: %v\npacked:  %v", bad, err, err2)
+		}
+	}
+}
+
+// TestColumnarMixedMethodLaxIndex: a lax index mixing a packable family
+// with a linear method packs only the former; the other method's entries
+// stay decoded and fail exactly as before.
+func TestColumnarMixedMethodLaxIndex(t *testing.T) {
+	keys := make([]uint64, 60)
+	vals := make([]float64, 60)
+	rng := hashing.NewSplitMix64(6)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = rng.Norm()
+	}
+	wmh, err := NewTableSketcher(Config{Method: MethodWMH, StorageWords: 200, Seed: 1}, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl, err := NewTableSketcher(Config{Method: MethodJL, StorageWords: 200, Seed: 1}, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := NewTable("query", keys, map[string][]float64{"v": vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSk, err := wmh.SketchTable(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewSketchIndex()
+	for i, ts := range []*TableSketcher{wmh, jl, wmh} {
+		tab, err := NewTable(fmt.Sprintf("t%d", i), keys, map[string][]float64{"w": vals})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := ts.SketchTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Add(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = ix.SearchTopK(qSk, "v", RankByJoinSize, 0, -1)
+	if err == nil {
+		t.Fatal("decoded search accepted cross-method estimate")
+	}
+	if got := ix.BuildColumnar(); got != 2 {
+		t.Fatalf("packed %d entries, want the 2 WMH ones", got)
+	}
+	_, err2 := ix.SearchTopK(qSk, "v", RankByJoinSize, 0, -1)
+	if err2 == nil {
+		t.Fatal("packed search accepted cross-method estimate")
+	}
+	if err.Error() != err2.Error() {
+		t.Fatalf("error diverges:\ndecoded: %v\npacked:  %v", err, err2)
+	}
+}
+
+// TestColumnarUnpackableFamily: an index of a linear method has nothing to
+// pack — BuildColumnar reports zero, the scan runs decoded, and results
+// are unchanged.
+func TestColumnarUnpackableFamily(t *testing.T) {
+	qSk, ix := buildColumnarFixture(t, Config{Method: MethodJL, StorageWords: 300, Seed: 21}, 3000, 8)
+	want, _, err := ix.SearchTopKStats(qSk, "v", RankByJoinSize, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.BuildColumnar(); got != 0 {
+		t.Fatalf("BuildColumnar packed %d entries of a linear method", got)
+	}
+	got, stats, err := ix.SearchTopKStats(qSk, "v", RankByJoinSize, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Columnar != 0 || stats.Fallback != stats.Candidates {
+		t.Fatalf("linear scan claims columnar scoring: %+v", stats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !resultsIdentical(got[i], want[i]) {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
+// TestColumnarViewInvalidation: Add and Remove stale the packed view (the
+// pack indexes entry positions), and a rebuild restores packed scanning.
+func TestColumnarViewInvalidation(t *testing.T) {
+	qSk, ix := buildColumnarFixture(t, Config{Method: MethodWMH, StorageWords: 200, Seed: 31}, 4000, 8)
+	ix.BuildColumnar()
+	if _, stats, err := ix.SearchTopKStats(qSk, "v", RankByJoinSize, 0, -1); err != nil || stats.Columnar == 0 {
+		t.Fatalf("built view not used: stats=%+v err=%v", stats, err)
+	}
+
+	extra := ix.entries[0]
+	name := extra.Name
+	if !ix.Remove(name) {
+		t.Fatalf("Remove(%q) found nothing", name)
+	}
+	if ix.view != nil {
+		t.Fatal("Remove left a stale columnar view")
+	}
+	want, _, err := ix.SearchTopKStats(qSk, "v", RankByJoinSize, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ix.Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	if ix.view != nil {
+		t.Fatal("Add left a stale columnar view")
+	}
+	if err := ix.Remove(name); !err {
+		t.Fatalf("second Remove(%q) found nothing", name)
+	}
+
+	ix.BuildColumnar()
+	got, stats, err := ix.SearchTopKStats(qSk, "v", RankByJoinSize, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Columnar == 0 {
+		t.Fatal("rebuilt view not used")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !resultsIdentical(got[i], want[i]) {
+			t.Fatalf("result %d differs after rebuild", i)
+		}
+	}
+}

@@ -37,6 +37,10 @@ type SketchIndex struct {
 	// and refilled keeps rejecting the same mismatches.
 	strict bool
 	pin    *TableSketch
+	// view is the columnar (structure-of-arrays) scan pack built by
+	// BuildColumnar; nil means every search takes the decoded path.
+	// Mutation invalidates it — the catalog rebuilds at publish time.
+	view *columnarView
 }
 
 // NewSketchIndex returns an empty index with lazy compatibility checking.
@@ -68,6 +72,7 @@ func (ix *SketchIndex) Add(ts *TableSketch) error {
 			return fmt.Errorf("ipsketch: adding %q to strict index: %w", ts.Name, err)
 		}
 	}
+	ix.view = nil // the pack indexes entry positions; any mutation stales it
 	if pos, ok := ix.byName[ts.Name]; ok {
 		ix.entries[pos] = ts
 		return nil
@@ -86,6 +91,7 @@ func (ix *SketchIndex) Remove(name string) bool {
 	if !ok {
 		return false
 	}
+	ix.view = nil // the pack indexes entry positions; any mutation stales it
 	copy(ix.entries[pos:], ix.entries[pos+1:])
 	ix.entries = ix.entries[:len(ix.entries)-1]
 	delete(ix.byName, name)
@@ -105,6 +111,9 @@ func (ix *SketchIndex) Clone() *SketchIndex {
 		byName:  make(map[string]int, len(ix.byName)),
 		strict:  ix.strict,
 		pin:     ix.pin,
+		// The immutable view matches the copied entry list exactly; a
+		// later mutation of either copy clears only that copy's view.
+		view: ix.view,
 	}
 	for name, pos := range ix.byName {
 		out.byName[name] = pos
@@ -183,13 +192,14 @@ func (a scored) better(b scored) bool {
 
 // searchShard is one worker's share of a search: a bounded worst-at-root
 // heap of the best k candidates seen (or every candidate when k < 0),
-// plus the first error in scan order.
+// plus the first error in scan order and the worker's scan counters.
 type searchShard struct {
 	k      int
 	items  []scored
 	err    error
 	errEnt int
 	errCol int
+	stats  ScanStats
 }
 
 // add offers one candidate to the shard.
@@ -259,18 +269,55 @@ func (ix *SketchIndex) Search(query *TableSketch, queryCol string, by RankBy, mi
 // over a large catalog. k < 0 means no bound (full ranking); k == 0
 // returns nil.
 func (ix *SketchIndex) SearchTopK(query *TableSketch, queryCol string, by RankBy, minJoinSize float64, k int) ([]SearchResult, error) {
+	res, _, err := ix.SearchTopKStats(query, queryCol, by, minJoinSize, k)
+	return res, err
+}
+
+// rankScore derives the ranking statistic; by is validated by the caller.
+func rankScore(by RankBy, st JoinStats) float64 {
+	switch by {
+	case RankByJoinSize:
+		return st.Size
+	case RankByAbsCorrelation:
+		return math.Abs(st.Correlation)
+	default: // RankByAbsInnerProduct
+		return math.Abs(st.InnerProduct)
+	}
+}
+
+// SearchTopKStats is SearchTopK that also reports the scan's counters:
+// how many candidate columns were scored, how many the minJoinSize filter
+// pruned, and how the scoring split between the columnar kernel and the
+// decoded fallback.
+func (ix *SketchIndex) SearchTopKStats(query *TableSketch, queryCol string, by RankBy, minJoinSize float64, k int) ([]SearchResult, ScanStats, error) {
+	var stats ScanStats
 	if query == nil {
-		return nil, errors.New("ipsketch: nil query sketch")
+		return nil, stats, errors.New("ipsketch: nil query sketch")
 	}
 	switch by {
 	case RankByJoinSize, RankByAbsCorrelation, RankByAbsInnerProduct:
 	default:
-		return nil, fmt.Errorf("ipsketch: unknown ranking %d", int(by))
+		return nil, stats, fmt.Errorf("ipsketch: unknown ranking %d", int(by))
 	}
 	if k == 0 {
-		return nil, nil
+		return nil, stats, nil
 	}
 	n := len(ix.entries)
+
+	// Strict indexes hold mutually compatible bundles, so one query-vs-pin
+	// check covers every candidate and the scan skips the dispatch-level
+	// Compatible re-run per estimate. When the check fails the scan runs
+	// un-prechecked and surfaces the per-candidate error exactly as before.
+	prechecked := ix.strict && ix.pin != nil && query.CompatibleWith(ix.pin) == nil
+
+	// Pre-decode the query against the columnar pack once per search; a
+	// nil scan sends everything down the decoded path.
+	view := ix.view
+	var scan columnarScan
+	if view != nil {
+		scan = view.prepare(query, queryCol)
+	}
+
 	// One worker count sizes the shard slots AND drives the fan-out, so
 	// the two can never disagree (GOMAXPROCS may change between calls).
 	workers := hashing.WorkerCount(n)
@@ -278,29 +325,72 @@ func (ix *SketchIndex) SearchTopK(query *TableSketch, queryCol string, by RankBy
 	hashing.ParallelWorkers(n, workers, func(w, lo, hi int) {
 		sh := &shards[w]
 		sh.k = k
+
+		if scan != nil {
+			// Columnar sub-range: the kernel fills flat stat rows for every
+			// packed table and column in [lo, hi), then the emit loop below
+			// assembles JoinStats and feeds the same bounded heap under the
+			// same (score, ent, col) order as the decoded path.
+			tLo, tHi := view.tableRange(lo, hi)
+			if tHi > tLo {
+				tstats := make([]float64, 3*(tHi-tLo))
+				scan.scanTables(tLo, tHi, tstats)
+				cLo, cHi := view.colOff[tLo], view.colOff[tHi]
+				cstats := make([]float64, 3*(cHi-cLo))
+				scan.scanColumns(cLo, cHi, cstats)
+				for t := tLo; t < tHi; t++ {
+					ent := view.ents[t]
+					cand := ix.entries[ent]
+					if cand.Name == query.Name {
+						continue
+					}
+					size := tstats[3*(t-tLo)]
+					sumA := tstats[3*(t-tLo)+1]
+					sumSqA := tstats[3*(t-tLo)+2]
+					base := view.colOff[t] - cLo
+					for col, colName := range cand.Columns() {
+						row := 3 * (base + col)
+						st := assembleJoinStats(size, sumA, cstats[row], sumSqA, cstats[row+1], cstats[row+2])
+						sh.stats.Candidates++
+						sh.stats.Columnar++
+						if st.Size < minJoinSize {
+							sh.stats.Pruned++
+							continue
+						}
+						score := rankScore(by, st)
+						if math.IsNaN(score) {
+							continue
+						}
+						sh.add(scored{
+							res: SearchResult{Table: cand.Name, Column: colName, Score: score, Stats: st},
+							ent: ent, col: col,
+						})
+					}
+				}
+			}
+		}
+
 		for ent := lo; ent < hi; ent++ {
+			if scan != nil && view.packed[ent] {
+				continue // scored by the kernel above
+			}
 			cand := ix.entries[ent]
 			if cand.Name == query.Name {
 				continue
 			}
 			for col, colName := range cand.Columns() {
-				st, err := EstimateJoinStats(query, queryCol, cand, colName)
+				st, err := estimateJoinStats(query, queryCol, cand, colName, prechecked)
 				if err != nil {
 					sh.fail(fmt.Errorf("ipsketch: searching %s.%s: %w", cand.Name, colName, err), ent, col)
 					continue
 				}
+				sh.stats.Candidates++
+				sh.stats.Fallback++
 				if st.Size < minJoinSize {
+					sh.stats.Pruned++
 					continue
 				}
-				var score float64
-				switch by {
-				case RankByJoinSize:
-					score = st.Size
-				case RankByAbsCorrelation:
-					score = math.Abs(st.Correlation)
-				default: // RankByAbsInnerProduct; by was validated upfront
-					score = math.Abs(st.InnerProduct)
-				}
+				score := rankScore(by, st)
 				if math.IsNaN(score) {
 					continue
 				}
@@ -314,8 +404,11 @@ func (ix *SketchIndex) SearchTopK(query *TableSketch, queryCol string, by RankBy
 
 	// Surface the first error in scan order, matching the sequential scan.
 	var firstErr *searchShard
+	total := 0
 	for i := range shards {
 		sh := &shards[i]
+		stats.Add(sh.stats)
+		total += len(sh.items)
 		if sh.err == nil {
 			continue
 		}
@@ -325,12 +418,12 @@ func (ix *SketchIndex) SearchTopK(query *TableSketch, queryCol string, by RankBy
 		}
 	}
 	if firstErr != nil {
-		return nil, firstErr.err
+		return nil, stats, firstErr.err
 	}
 
 	// Merge the shards and rank: descending score, scan order on ties —
 	// exactly the order the sequential stable sort produced.
-	var merged []scored
+	merged := make([]scored, 0, total)
 	for i := range shards {
 		merged = append(merged, shards[i].items...)
 	}
@@ -339,11 +432,11 @@ func (ix *SketchIndex) SearchTopK(query *TableSketch, queryCol string, by RankBy
 		merged = merged[:k]
 	}
 	if len(merged) == 0 {
-		return nil, nil
+		return nil, stats, nil
 	}
 	out := make([]SearchResult, len(merged))
 	for i, c := range merged {
 		out[i] = c.res
 	}
-	return out, nil
+	return out, stats, nil
 }

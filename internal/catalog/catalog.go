@@ -334,7 +334,10 @@ func (c *Catalog) Delete(name string) (bool, error) {
 
 // sortedIndex builds the published per-shard index: entries added in
 // name-sorted order, so the index's scan-order tiebreak is the catalog's
-// canonical (table, column) order.
+// canonical (table, column) order. The columnar scan view is packed here,
+// at copy-on-write publish time, so every reader of the published index
+// scans structure-of-arrays for free and no search ever pays the pack
+// cost.
 func sortedIndex(m map[string]*ipsketch.TableSketch) (*ipsketch.SketchIndex, error) {
 	names := make([]string, 0, len(m))
 	for name := range m {
@@ -347,6 +350,7 @@ func sortedIndex(m map[string]*ipsketch.TableSketch) (*ipsketch.SketchIndex, err
 			return nil, err
 		}
 	}
+	ix.BuildColumnar()
 	return ix, nil
 }
 
@@ -420,28 +424,45 @@ func (c *Catalog) Search(query *ipsketch.TableSketch, queryCol string, by ipsket
 // concurrently; the merged ranking is bit-exact with
 // Snapshot().SearchTopK on the same catalog state.
 func (c *Catalog) SearchTopK(query *ipsketch.TableSketch, queryCol string, by ipsketch.RankBy, minJoinSize float64, k int) ([]ipsketch.SearchResult, error) {
+	res, _, err := c.SearchTopKStats(query, queryCol, by, minJoinSize, k)
+	return res, err
+}
+
+// SearchTopKStats is SearchTopK that also returns the scan counters
+// summed over every shard's scan (candidates scored, minJoinSize prunes,
+// and the columnar-kernel vs decoded-fallback split).
+func (c *Catalog) SearchTopKStats(query *ipsketch.TableSketch, queryCol string, by ipsketch.RankBy, minJoinSize float64, k int) ([]ipsketch.SearchResult, ipsketch.ScanStats, error) {
+	var stats ipsketch.ScanStats
 	// Take all shard snapshots first so one search observes one state.
 	ixs := make([]*ipsketch.SketchIndex, len(c.shards))
 	for i := range c.shards {
 		_, ixs[i] = c.shards[i].view()
 	}
 	results := make([][]ipsketch.SearchResult, len(ixs))
+	shardStats := make([]ipsketch.ScanStats, len(ixs))
 	errs := make([]error, len(ixs))
 	var wg sync.WaitGroup
 	for i, ix := range ixs {
 		wg.Add(1)
 		go func(i int, ix *ipsketch.SketchIndex) {
 			defer wg.Done()
-			results[i], errs[i] = ix.SearchTopK(query, queryCol, by, minJoinSize, k)
+			results[i], shardStats[i], errs[i] = ix.SearchTopKStats(query, queryCol, by, minJoinSize, k)
 		}(i, ix)
 	}
 	wg.Wait()
+	for i := range shardStats {
+		stats.Add(shardStats[i])
+	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 	}
-	var merged []ipsketch.SearchResult
+	total := 0
+	for _, rs := range results {
+		total += len(rs)
+	}
+	merged := make([]ipsketch.SearchResult, 0, total)
 	for _, rs := range results {
 		merged = append(merged, rs...)
 	}
@@ -459,9 +480,9 @@ func (c *Catalog) SearchTopK(query *ipsketch.TableSketch, queryCol string, by ip
 		merged = merged[:k]
 	}
 	if len(merged) == 0 {
-		return nil, nil
+		return nil, stats, nil
 	}
-	return merged, nil
+	return merged, stats, nil
 }
 
 // Save writes a snapshot of the catalog to path atomically and durably

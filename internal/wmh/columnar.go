@@ -1,0 +1,78 @@
+package wmh
+
+// Cols is a structure-of-arrays packing of many sketches built under one
+// Params (and one resolved L and construction variant): sample arrays are
+// laid out contiguously at a fixed stride M with one aux norm word per
+// sketch, so a catalog scan streams flat arrays instead of chasing one
+// heap object per candidate. Empty sketches keep a zero-filled stride
+// slot and are skipped by a flag.
+type Cols struct {
+	p      Params
+	l      uint64
+	n      int
+	empty  []bool
+	norms  []float64 // per-sketch ‖v‖ aux word
+	hashes []float64 // n·M record-process minima, sketch-major
+	vals   []float64 // n·M argmin block values, sketch-major
+}
+
+// NewCols returns an empty pack pinned to the reference sketch's
+// parameters, resolved L, and variant (ref is not packed).
+func NewCols(ref *Sketch) *Cols { return &Cols{p: ref.params, l: ref.l} }
+
+// Len returns the number of packed sketches.
+func (c *Cols) Len() int { return c.n }
+
+// Append packs one sketch. The caller guarantees Compatible(s, ref) for
+// every sketch in the pack (the dispatch layer owns that invariant).
+func (c *Cols) Append(s *Sketch) {
+	m := c.p.M
+	at := c.n * m
+	c.hashes = append(c.hashes, make([]float64, m)...)
+	c.vals = append(c.vals, make([]float64, m)...)
+	c.empty = append(c.empty, s.empty)
+	c.norms = append(c.norms, s.norm)
+	if !s.empty {
+		copy(c.hashes[at:], s.hashes)
+		copy(c.vals[at:], s.vals)
+	}
+	c.n++
+}
+
+// Scan scores every query sketch in qs against every packed sketch in
+// [lo, hi): out[(t−lo)·stride + offs[qi]] = Estimate(qs[qi], packed t),
+// bit-identical to the pairwise estimator with the paper's FMUnion
+// default (the query is always the estimator's first argument, matching
+// how EstimateJoinStats orders its operands). The caller guarantees each
+// query is Compatible with the pack.
+func (c *Cols) Scan(qs []*Sketch, lo, hi int, out []float64, stride int, offs []int) {
+	m := c.p.M
+	lf := float64(c.l)
+	for t := lo; t < hi; t++ {
+		base := (t - lo) * stride
+		ch := c.hashes[t*m : (t+1)*m]
+		cv := c.vals[t*m : (t+1)*m]
+		norm := c.norms[t]
+		for qi, q := range qs {
+			o := base + offs[qi]
+			if q.empty || c.empty[t] {
+				out[o] = 0
+				continue
+			}
+			qh, qv := q.hashes, q.vals
+			// Algorithm 5, fused: the FM union accumulator and the
+			// collision sum advance together over one pass of the stride.
+			sumMin, sum := 0.0, 0.0
+			for i := 0; i < m; i++ {
+				ha, hb := qh[i], ch[i]
+				sumMin += min(ha, hb)
+				if ha == hb {
+					va, vb := qv[i], cv[i]
+					sum += va * vb / min(va*va, vb*vb)
+				}
+			}
+			mTilde := (float64(m)/sumMin - 1) / lf
+			out[o] = q.norm * norm * (mTilde / float64(m) * sum)
+		}
+	}
+}

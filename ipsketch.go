@@ -355,6 +355,32 @@ func EstimateJoinSize(a, b *Sketch) (float64, error) {
 	return jse.estimateJoinSize(a.payload, b.payload)
 }
 
+// estimatePrechecked is Estimate without the dispatch-level compatibility
+// pre-check, for scan loops that have already verified the pair's bundles
+// are comparable (a strict index whose pin matched the query). The
+// internal estimators still validate their inputs, so an incompatible
+// pair fails with the same underlying error instead of returning garbage.
+func estimatePrechecked(a, b *Sketch) (float64, error) {
+	be, err := pairBackend(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return be.estimate(a.payload, b.payload)
+}
+
+// estimateJoinSizePrechecked is EstimateJoinSize minus the dispatch-level
+// compatibility pre-check; see estimatePrechecked.
+func estimateJoinSizePrechecked(a, b *Sketch) (float64, error) {
+	be, err := pairBackend(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if jse, ok := be.(joinSizeEstimator); ok {
+		return jse.estimateJoinSize(a.payload, b.payload)
+	}
+	return be.estimate(a.payload, b.payload)
+}
+
 // EstimateWithBound returns the inner-product estimate together with a
 // data-driven error scale: errScale estimates the Theorem 2 magnitude
 // max(‖a_I‖‖b‖, ‖a‖‖b_I‖)/√m, so |estimate − ⟨a,b⟩| is O(errScale) with

@@ -248,6 +248,7 @@ func UnmarshalTableSketch(data []byte) (*TableSketch, error) {
 	if err := r.Close(); err != nil {
 		return nil, fmt.Errorf("ipsketch: decoding table sketch: %w", err)
 	}
+	out.refreshColumns()
 	return out, nil
 }
 

@@ -189,28 +189,41 @@ type WALStats struct {
 	Replayed   int64  `json:"replayed"`
 }
 
+// ScanSearchStats aggregates the per-search scan counters across every
+// /search handled since boot: how many candidate columns were scored, how
+// many the min_join filter pruned, and how scoring split between the
+// columnar kernel and the decoded fallback.
+type ScanSearchStats struct {
+	Candidates int64 `json:"candidates"`
+	Pruned     int64 `json:"pruned"`
+	Columnar   int64 `json:"columnar"`
+	Fallback   int64 `json:"fallback"`
+}
+
 // StatsResponse is the /statsz body.
 type StatsResponse struct {
-	Tables        int       `json:"tables"`
-	Shards        int       `json:"shards"`
-	ShardSizes    []int     `json:"shard_sizes"`
-	Method        string    `json:"method"`
-	StorageWords  int       `json:"storage_words"`
-	KeySpace      uint64    `json:"key_space"`
-	Strict        bool      `json:"strict"`
-	UptimeSeconds float64   `json:"uptime_seconds"`
-	Puts          int64     `json:"puts"`
-	Merges        int64     `json:"merges"`
-	Deletes       int64     `json:"deletes"`
-	Searches      int64     `json:"searches"`
-	Estimates     int64     `json:"estimates"`
-	Snapshots     int64     `json:"snapshots"`
-	Errors        int64     `json:"errors"`
-	SnapshotPath  string    `json:"snapshot_path,omitempty"`
-	LastSnapshot  string    `json:"last_snapshot_utc,omitempty"`
-	Ready         bool      `json:"ready"`
-	Draining      bool      `json:"draining,omitempty"`
-	WAL           *WALStats `json:"wal,omitempty"`
+	Tables        int     `json:"tables"`
+	Shards        int     `json:"shards"`
+	ShardSizes    []int   `json:"shard_sizes"`
+	Method        string  `json:"method"`
+	StorageWords  int     `json:"storage_words"`
+	KeySpace      uint64  `json:"key_space"`
+	Strict        bool    `json:"strict"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Puts          int64   `json:"puts"`
+	Merges        int64   `json:"merges"`
+	Deletes       int64   `json:"deletes"`
+	Searches      int64   `json:"searches"`
+	Estimates     int64   `json:"estimates"`
+	Snapshots     int64   `json:"snapshots"`
+	Errors        int64   `json:"errors"`
+	SnapshotPath  string  `json:"snapshot_path,omitempty"`
+	LastSnapshot  string  `json:"last_snapshot_utc,omitempty"`
+	Ready         bool    `json:"ready"`
+	Draining      bool    `json:"draining,omitempty"`
+	// Scan is present once at least one /search has run.
+	Scan *ScanSearchStats `json:"scan,omitempty"`
+	WAL  *WALStats        `json:"wal,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

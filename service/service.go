@@ -81,6 +81,9 @@ type Server struct {
 
 	puts, merges, deletes, searches, estimates, snapshots, errs, replayed atomic.Int64
 	lastSnapshotUnixNano                                                  atomic.Int64
+
+	// Scan counters summed over every /search (see ScanSearchStats).
+	scanCandidates, scanPruned, scanColumnar, scanFallback atomic.Int64
 }
 
 // New validates the configuration and returns a server with an empty
@@ -700,12 +703,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.K != nil {
 		k = *req.K
 	}
-	results, err := s.cat.SearchTopK(qSk, req.Column, by, req.MinJoin, k)
+	results, scan, err := s.cat.SearchTopKStats(qSk, req.Column, by, req.MinJoin, k)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.searches.Add(1)
+	s.scanCandidates.Add(scan.Candidates)
+	s.scanPruned.Add(scan.Pruned)
+	s.scanColumnar.Add(scan.Columnar)
+	s.scanFallback.Add(scan.Fallback)
 	hits := make([]SearchHit, len(results))
 	for i, r := range results {
 		hits[i] = hitFromResult(r)
@@ -807,6 +814,14 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if ns := s.lastSnapshotUnixNano.Load(); ns != 0 {
 		resp.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
+	if resp.Searches > 0 {
+		resp.Scan = &ScanSearchStats{
+			Candidates: s.scanCandidates.Load(),
+			Pruned:     s.scanPruned.Load(),
+			Columnar:   s.scanColumnar.Load(),
+			Fallback:   s.scanFallback.Load(),
+		}
 	}
 	if w := s.cfg.WAL; w != nil {
 		resp.WAL = &WALStats{

@@ -70,6 +70,22 @@ type TableSketch struct {
 	key      *Sketch
 	val      map[string]*Sketch
 	sqVal    map[string]*Sketch
+	// cols caches the sorted column names. Bundles are immutable after
+	// construction, so every constructor fills this once and Columns()
+	// returns it without re-sorting — the search hot loop enumerates
+	// candidate columns per query and must not allocate per candidate.
+	cols []string
+}
+
+// refreshColumns (re)builds the sorted column-name cache; every
+// constructor calls it after the val map is final.
+func (tsk *TableSketch) refreshColumns() {
+	cols := make([]string, 0, len(tsk.val))
+	for c := range tsk.val {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	tsk.cols = cols
 }
 
 // SketchTable sketches the table's key set and the named value columns
@@ -118,6 +134,7 @@ func (ts *TableSketcher) sketchTableWith(t *Table, sketch func(Vector) (*Sketch,
 			return nil, err
 		}
 	}
+	out.refreshColumns()
 	return out, nil
 }
 
@@ -196,6 +213,7 @@ func (ts *TableSketcher) SketchTableChunked(t *Table, cols ...string) (*TableSke
 		out.val[c] = sks[1+2*i]
 		out.sqVal[c] = sks[2+2*i]
 	}
+	out.refreshColumns()
 	return out, nil
 }
 
@@ -243,18 +261,26 @@ func (tsk *TableSketch) Merge(other *TableSketch) (*TableSketch, error) {
 			out.val[c], out.sqVal[c] = sk, other.sqVal[c]
 		}
 	}
+	out.refreshColumns()
 	return out, nil
 }
 
 // Columns returns the sketched column names in sorted order (so catalog
-// scans and search tie-breaking are deterministic).
+// scans and search tie-breaking are deterministic). The returned slice is
+// the bundle's cached copy; callers must not modify it.
 func (tsk *TableSketch) Columns() []string {
-	out := make([]string, 0, len(tsk.val))
-	for c := range tsk.val {
-		out = append(out, c)
+	if tsk.cols == nil && len(tsk.val) > 0 {
+		// Zero-value bundles (none of the package constructors produce
+		// them) fall back to a fresh sort; nothing is cached so the method
+		// stays read-only and safe under concurrent readers.
+		out := make([]string, 0, len(tsk.val))
+		for c := range tsk.val {
+			out = append(out, c)
+		}
+		sort.Strings(out)
+		return out
 	}
-	sort.Strings(out)
-	return out
+	return tsk.cols
 }
 
 // KeySpace returns the key-domain size the bundle was sketched under.
@@ -317,6 +343,16 @@ type JoinStats struct {
 // EstimateJoinStats estimates every §1.2 statistic for columns colA of a
 // and colB of b from the sketch bundles alone.
 func EstimateJoinStats(a *TableSketch, colA string, b *TableSketch, colB string) (JoinStats, error) {
+	return estimateJoinStats(a, colA, b, colB, false)
+}
+
+// estimateJoinStats is the body of EstimateJoinStats. prechecked skips the
+// dispatch-level compatibility pre-check of every pairwise estimate — the
+// internal estimators still verify their inputs, so garbage is impossible;
+// the flag only elides redundant parameter comparisons when the caller has
+// already established bundle compatibility (a strict index whose pin
+// matched the query).
+func estimateJoinStats(a *TableSketch, colA string, b *TableSketch, colB string, prechecked bool) (JoinStats, error) {
 	if a.keySpace != b.keySpace {
 		return JoinStats{}, fmt.Errorf("ipsketch: key space mismatch %d vs %d", a.keySpace, b.keySpace)
 	}
@@ -330,34 +366,49 @@ func EstimateJoinStats(a *TableSketch, colA string, b *TableSketch, colB string)
 	}
 	sqA, sqB := a.sqVal[colA], b.sqVal[colB]
 
-	var st JoinStats
-	var err error
-	if st.Size, err = EstimateJoinSize(a.key, b.key); err != nil {
-		return JoinStats{}, err
-	}
-	if st.SumA, err = Estimate(va, b.key); err != nil {
-		return JoinStats{}, err
-	}
-	if st.SumB, err = Estimate(a.key, vb); err != nil {
-		return JoinStats{}, err
-	}
-	sumSqA, err := Estimate(sqA, b.key)
-	if err != nil {
-		return JoinStats{}, err
-	}
-	sumSqB, err := Estimate(a.key, sqB)
-	if err != nil {
-		return JoinStats{}, err
-	}
-	if st.InnerProduct, err = Estimate(va, vb); err != nil {
-		return JoinStats{}, err
+	estimate, joinSize := Estimate, EstimateJoinSize
+	if prechecked {
+		estimate, joinSize = estimatePrechecked, estimateJoinSizePrechecked
 	}
 
+	size, err := joinSize(a.key, b.key)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	sumA, err := estimate(va, b.key)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	sumB, err := estimate(a.key, vb)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	sumSqA, err := estimate(sqA, b.key)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	sumSqB, err := estimate(a.key, sqB)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	ip, err := estimate(va, vb)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	return assembleJoinStats(size, sumA, sumB, sumSqA, sumSqB, ip), nil
+}
+
+// assembleJoinStats derives the §1.2 ratio statistics from the six raw
+// pairwise estimates. It is the single assembly point shared by the
+// decoded scorer and the columnar scan kernel, so the two paths are
+// bit-identical by construction.
+func assembleJoinStats(size, sumA, sumB, sumSqA, sumSqB, ip float64) JoinStats {
+	st := JoinStats{Size: size, SumA: sumA, SumB: sumB, InnerProduct: ip}
 	if st.Size <= 0 {
 		st.MeanA, st.MeanB = math.NaN(), math.NaN()
 		st.VarA, st.VarB = math.NaN(), math.NaN()
 		st.Covariance, st.Correlation = math.NaN(), math.NaN()
-		return st, nil
+		return st
 	}
 	n := st.Size
 	st.MeanA = st.SumA / n
@@ -377,7 +428,7 @@ func EstimateJoinStats(a *TableSketch, colA string, b *TableSketch, colB string)
 	} else {
 		st.Correlation = math.NaN()
 	}
-	return st, nil
+	return st
 }
 
 // ExactJoinStats computes the same statistics exactly by materializing the
