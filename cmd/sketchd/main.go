@@ -41,8 +41,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -94,6 +96,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		ingestLimit   = fs.Int("ingest-limit", 0, "max in-flight ingest requests (0 = 2×GOMAXPROCS)")
 		searchLimit   = fs.Int("search-limit", 0, "max in-flight search requests (0 = 2×GOMAXPROCS)")
 		lax           = fs.Bool("lax", false, "disable the eager sketch-compatibility check")
+		pprofOn       = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (alongside /metrics)")
+		slowlogN      = fs.Int("slowlog-n", service.DefaultSlowLogSize, "slow-query log capacity (N slowest searches)")
+		slowThreshold = fs.Duration("slow-threshold", 0, "only record searches at least this slow (0 = keep the N slowest regardless)")
+		accessLog     = fs.Bool("access-log", false, "emit a structured JSON access-log line per request")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -125,19 +131,26 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		}
 	}
 
+	var logger *slog.Logger
+	if *accessLog {
+		logger = slog.New(slog.NewJSONHandler(out, nil))
+	}
 	srv, err := service.New(service.Config{
 		Sketch: ipsketch.Config{
 			Method: method, StorageWords: *storage, Seed: *seed,
 			L: *l, Reps: *reps, Quantize: *quantize, FastHash: *fastHash, Dart: *dart,
 		},
-		KeySpace:       *keySpace,
-		Shards:         *shards,
-		Lax:            *lax,
-		SnapshotPath:   *snapshot,
-		IngestLimit:    *ingestLimit,
-		SearchLimit:    *searchLimit,
-		WAL:            walLog,
-		RequestTimeout: *reqTimeout,
+		KeySpace:         *keySpace,
+		Shards:           *shards,
+		Lax:              *lax,
+		SnapshotPath:     *snapshot,
+		IngestLimit:      *ingestLimit,
+		SearchLimit:      *searchLimit,
+		WAL:              walLog,
+		RequestTimeout:   *reqTimeout,
+		SlowLogSize:      *slowlogN,
+		SlowLogThreshold: *slowThreshold,
+		AccessLog:        logger,
 	})
 	if err != nil {
 		return err
@@ -175,7 +188,27 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	// Serve while still replaying: the readiness middleware answers 503
 	// with Retry-After until ReplayWAL flips the server ready, so load
 	// balancers and hardened clients back off instead of failing.
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Profiling is opt-in: the handlers expose goroutine stacks and
+		// heap contents, so they stay off unless the operator asks.
+		ops := http.NewServeMux()
+		ops.HandleFunc("/debug/pprof/", pprof.Index)
+		ops.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		ops.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		ops.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		ops.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		app := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+				ops.ServeHTTP(w, r)
+				return
+			}
+			app.ServeHTTP(w, r)
+		})
+		fmt.Fprintf(out, "sketchd: pprof enabled at /debug/pprof/\n")
+	}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -214,6 +247,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 			// Drain: stop advertising readiness, give in-flight requests
 			// the drain window, then persist and release the log.
 			srv.StartDraining()
+			fmt.Fprintf(out, "sketchd: draining, %d requests in flight\n", srv.InFlight())
 			shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 			err := hs.Shutdown(shutCtx)
 			cancel()

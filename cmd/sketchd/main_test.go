@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"io"
 	"math"
 	"path/filepath"
 	"sync"
@@ -18,11 +19,20 @@ import (
 // (writing the final snapshot) and waits for exit.
 func startDaemon(t *testing.T, args ...string) (*client.Client, func()) {
 	t.Helper()
+	cl, _, stop := startDaemonOut(t, testWriter{t}, args...)
+	return cl, stop
+}
+
+// startDaemonOut is startDaemon with a caller-chosen log sink and the
+// resolved listen address exposed, for tests that assert on daemon output
+// or hit endpoints the typed client doesn't wrap.
+func startDaemonOut(t *testing.T, out io.Writer, args ...string) (*client.Client, string, func()) {
+	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), testWriter{t}, ready)
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out, ready)
 	}()
 	var addr string
 	select {
@@ -39,7 +49,7 @@ func startDaemon(t *testing.T, args ...string) (*client.Client, func()) {
 		cancel()
 		t.Fatal(err)
 	}
-	return cl, func() {
+	return cl, addr, func() {
 		cancel()
 		select {
 		case err := <-done:

@@ -142,8 +142,8 @@ func (ix *SketchIndex) BuildColumnar() int {
 
 // ScanStats counts what one search's scan did, for observability: how
 // many candidate columns were scored, how many the minJoinSize filter
-// pruned, and how the scoring split between the packed kernel and the
-// decoded fallback.
+// pruned, how the scoring split between the packed kernel and the
+// decoded fallback, and where the search's wall time went.
 type ScanStats struct {
 	// Candidates is the number of candidate columns scored (the query's
 	// own table is excluded before scoring).
@@ -153,12 +153,30 @@ type ScanStats struct {
 	// Columnar and Fallback split Candidates by scoring path.
 	Columnar int64
 	Fallback int64
+
+	// Stage timings, in nanoseconds. ColumnarNanos and FallbackNanos are
+	// CPU-additive (summed across the scan's parallel workers, so they
+	// can exceed ScanNanos on multi-core scans) and accumulate through
+	// Add. The wall-clock stages — SnapshotNanos (catalog shard-view
+	// acquisition), ScanNanos (the scoring fan-out, start to join), and
+	// MergeNanos (the final heap merge and rank) — are set by whichever
+	// coordinator ran the search and deliberately NOT summed by Add:
+	// adding the wall times of concurrent shard scans would double-count
+	// overlapping time.
+	SnapshotNanos int64
+	ScanNanos     int64
+	ColumnarNanos int64
+	FallbackNanos int64
+	MergeNanos    int64
 }
 
-// Add accumulates o into s.
+// Add accumulates o's counters and CPU-additive stage times into s (see
+// the field comments for why the wall-clock stages are excluded).
 func (s *ScanStats) Add(o ScanStats) {
 	s.Candidates += o.Candidates
 	s.Pruned += o.Pruned
 	s.Columnar += o.Columnar
 	s.Fallback += o.Fallback
+	s.ColumnarNanos += o.ColumnarNanos
+	s.FallbackNanos += o.FallbackNanos
 }

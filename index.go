@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/hashing"
 )
@@ -322,9 +323,13 @@ func (ix *SketchIndex) SearchTopKStats(query *TableSketch, queryCol string, by R
 	// the two can never disagree (GOMAXPROCS may change between calls).
 	workers := hashing.WorkerCount(n)
 	shards := make([]searchShard, workers)
+	scanStart := time.Now()
 	hashing.ParallelWorkers(n, workers, func(w, lo, hi int) {
 		sh := &shards[w]
 		sh.k = k
+		// Stage timers: a handful of clock reads per worker per search,
+		// nothing per candidate — the kernel loops stay untouched.
+		stageStart := time.Now()
 
 		if scan != nil {
 			// Columnar sub-range: the kernel fills flat stat rows for every
@@ -368,6 +373,9 @@ func (ix *SketchIndex) SearchTopKStats(query *TableSketch, queryCol string, by R
 					}
 				}
 			}
+			now := time.Now()
+			sh.stats.ColumnarNanos += now.Sub(stageStart).Nanoseconds()
+			stageStart = now
 		}
 
 		for ent := lo; ent < hi; ent++ {
@@ -400,7 +408,9 @@ func (ix *SketchIndex) SearchTopKStats(query *TableSketch, queryCol string, by R
 				})
 			}
 		}
+		sh.stats.FallbackNanos += time.Since(stageStart).Nanoseconds()
 	})
+	stats.ScanNanos = time.Since(scanStart).Nanoseconds()
 
 	// Surface the first error in scan order, matching the sequential scan.
 	var firstErr *searchShard
@@ -423,6 +433,7 @@ func (ix *SketchIndex) SearchTopKStats(query *TableSketch, queryCol string, by R
 
 	// Merge the shards and rank: descending score, scan order on ties —
 	// exactly the order the sequential stable sort produced.
+	mergeStart := time.Now()
 	merged := make([]scored, 0, total)
 	for i := range shards {
 		merged = append(merged, shards[i].items...)
@@ -432,11 +443,13 @@ func (ix *SketchIndex) SearchTopKStats(query *TableSketch, queryCol string, by R
 		merged = merged[:k]
 	}
 	if len(merged) == 0 {
+		stats.MergeNanos = time.Since(mergeStart).Nanoseconds()
 		return nil, stats, nil
 	}
 	out := make([]SearchResult, len(merged))
 	for i, c := range merged {
 		out[i] = c.res
 	}
+	stats.MergeNanos = time.Since(mergeStart).Nanoseconds()
 	return out, stats, nil
 }

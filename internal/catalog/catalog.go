@@ -34,10 +34,18 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	ipsketch "repro"
 	"repro/internal/fsx"
 )
+
+// Observer receives one latency observation in seconds. It is satisfied
+// by *telemetry.Histogram; declaring it here keeps the catalog free of
+// any telemetry dependency.
+type Observer interface {
+	Observe(v float64)
+}
 
 // DefaultShards is the shard count when Options.Shards is zero: enough
 // stripes that writers rarely collide, few enough that per-shard indexes
@@ -81,6 +89,11 @@ type Options struct {
 	// exactly the publish order, so replaying the hooked mutations
 	// reconstructs the catalog.
 	OnMutate func(Mutation) error
+	// PublishObserver, when set, receives the seconds each mutation spent
+	// rebuilding and publishing its shard's copy-on-write state (index
+	// rebuild + columnar pack + pointer swap) — the write-side latency a
+	// reader never sees but every ingest pays.
+	PublishObserver Observer
 }
 
 // shard is one stripe. tables and ix are immutable once published:
@@ -110,9 +123,10 @@ func (sh *shard) publish(m map[string]*ipsketch.TableSketch, ix *ipsketch.Sketch
 
 // Catalog is a sharded concurrent table-sketch catalog.
 type Catalog struct {
-	shards   []shard
-	strict   bool
-	onMutate func(Mutation) error
+	shards     []shard
+	strict     bool
+	onMutate   func(Mutation) error
+	publishObs Observer
 
 	// pin is the first table ever put to a strict catalog; it survives
 	// removal so an emptied catalog keeps rejecting the same mismatches.
@@ -126,7 +140,7 @@ func New(opts Options) *Catalog {
 	if n <= 0 {
 		n = DefaultShards
 	}
-	c := &Catalog{shards: make([]shard, n), strict: opts.Strict, onMutate: opts.OnMutate}
+	c := &Catalog{shards: make([]shard, n), strict: opts.Strict, onMutate: opts.OnMutate, publishObs: opts.PublishObserver}
 	for i := range c.shards {
 		c.shards[i].tables = map[string]*ipsketch.TableSketch{}
 		c.shards[i].ix = ipsketch.NewSketchIndex()
@@ -223,7 +237,16 @@ func (c *Catalog) Put(ts *ipsketch.TableSketch) error {
 	if err := c.hook(Mutation{Op: MutationPut, Name: ts.Name, Sketch: ts}); err != nil {
 		return err
 	}
+	defer c.observePublish(time.Now())
 	return sh.replaceLocked(ts)
+}
+
+// observePublish reports a publish latency (call with the publish start
+// time deferred around the rebuild+swap).
+func (c *Catalog) observePublish(t0 time.Time) {
+	if c.publishObs != nil {
+		c.publishObs.Observe(time.Since(t0).Seconds())
+	}
 }
 
 // hook runs the OnMutate hook (the caller holds the shard write mutex).
@@ -273,6 +296,7 @@ func (c *Catalog) MergeTagged(ts *ipsketch.TableSketch, tag string) (bool, error
 	if err := c.hook(Mutation{Op: MutationMerge, Name: ts.Name, Sketch: ts, Tag: tag}); err != nil {
 		return false, err
 	}
+	defer c.observePublish(time.Now())
 	if err := sh.replaceLocked(result); err != nil {
 		return false, err
 	}
@@ -317,6 +341,7 @@ func (c *Catalog) Delete(name string) (bool, error) {
 	if err := c.hook(Mutation{Op: MutationDelete, Name: name}); err != nil {
 		return false, err
 	}
+	defer c.observePublish(time.Now())
 	next := make(map[string]*ipsketch.TableSketch, len(old)-1)
 	for n, sk := range old {
 		if n != name {
@@ -434,10 +459,13 @@ func (c *Catalog) SearchTopK(query *ipsketch.TableSketch, queryCol string, by ip
 func (c *Catalog) SearchTopKStats(query *ipsketch.TableSketch, queryCol string, by ipsketch.RankBy, minJoinSize float64, k int) ([]ipsketch.SearchResult, ipsketch.ScanStats, error) {
 	var stats ipsketch.ScanStats
 	// Take all shard snapshots first so one search observes one state.
+	snapStart := time.Now()
 	ixs := make([]*ipsketch.SketchIndex, len(c.shards))
 	for i := range c.shards {
 		_, ixs[i] = c.shards[i].view()
 	}
+	stats.SnapshotNanos = time.Since(snapStart).Nanoseconds()
+	scanStart := time.Now()
 	results := make([][]ipsketch.SearchResult, len(ixs))
 	shardStats := make([]ipsketch.ScanStats, len(ixs))
 	errs := make([]error, len(ixs))
@@ -453,11 +481,15 @@ func (c *Catalog) SearchTopKStats(query *ipsketch.TableSketch, queryCol string, 
 	for i := range shardStats {
 		stats.Add(shardStats[i])
 	}
+	// Add skips the wall-clock stages; the catalog's fan-out wall time is
+	// the scan stage as this coordinator saw it.
+	stats.ScanNanos = time.Since(scanStart).Nanoseconds()
 	for _, err := range errs {
 		if err != nil {
 			return nil, stats, err
 		}
 	}
+	mergeStart := time.Now()
 	total := 0
 	for _, rs := range results {
 		total += len(rs)
@@ -479,6 +511,7 @@ func (c *Catalog) SearchTopKStats(query *ipsketch.TableSketch, queryCol string, 
 	if k >= 0 && len(merged) > k {
 		merged = merged[:k]
 	}
+	stats.MergeNanos = time.Since(mergeStart).Nanoseconds()
 	if len(merged) == 0 {
 		return nil, stats, nil
 	}

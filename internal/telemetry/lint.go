@@ -1,0 +1,345 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a Prometheus text exposition for conformance and returns
+// every violation found. It enforces what a scraper relies on:
+//
+//   - every sample line parses as `name[{labels}] value`, with a valid
+//     metric name, valid label names, properly quoted/escaped label
+//     values, and a parseable value;
+//   - # HELP and # TYPE appear at most once per family, before any of
+//     that family's samples, with HELP preceding TYPE;
+//   - no duplicate sample (same name and label set);
+//   - for histograms: per label set, `le` bucket bounds strictly
+//     increase, cumulative bucket counts never decrease, the terminal
+//     +Inf bucket exists, `_count` equals the +Inf bucket, and `_sum`
+//     and `_count` are present exactly once.
+//
+// Tests feed it /metrics bodies so any drift from the format is a
+// failure, not a silent scrape miss.
+func Lint(data []byte) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type familyMeta struct {
+		help, typ  string
+		sampleSeen bool
+	}
+	families := map[string]*familyMeta{}
+	meta := func(name string) *familyMeta {
+		f, ok := families[name]
+		if !ok {
+			f = &familyMeta{}
+			families[name] = f
+		}
+		return f
+	}
+	// histogram bookkeeping: family -> label-set-sans-le -> buckets etc.
+	type histSeries struct {
+		les      []float64
+		counts   []float64
+		sum      *float64
+		count    *float64
+		lastLine int
+	}
+	hists := map[string]map[string]*histSeries{}
+	seen := map[string]int{} // full sample key -> line
+
+	sawSample := false
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // arbitrary comments are legal
+			}
+			f := meta(name)
+			if f.sampleSeen {
+				fail(ln, "# %s for %s after its samples", kind, name)
+			}
+			switch kind {
+			case "HELP":
+				if f.help != "" {
+					fail(ln, "duplicate # HELP for %s", name)
+				}
+				if f.typ != "" {
+					fail(ln, "# HELP for %s after its # TYPE", name)
+				}
+				f.help = rest
+			case "TYPE":
+				if f.typ != "" {
+					fail(ln, "duplicate # TYPE for %s", name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail(ln, "unknown TYPE %q for %s", rest, name)
+				}
+				f.typ = rest
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			fail(ln, "%v", err)
+			continue
+		}
+		sawSample = true
+		base := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, s)
+			if trimmed != name {
+				if f, ok := families[trimmed]; ok && f.typ == "histogram" {
+					base, suffix = trimmed, s
+				}
+				break
+			}
+		}
+		meta(base).sampleSeen = true
+
+		key := name + "{" + renderParsed(labels) + "}"
+		if prev, dup := seen[key]; dup {
+			fail(ln, "duplicate sample %s (first at line %d)", key, prev)
+		}
+		seen[key] = ln
+
+		if families[base].typ == "histogram" && suffix != "" {
+			byLabels, ok := hists[base]
+			if !ok {
+				byLabels = map[string]*histSeries{}
+				hists[base] = byLabels
+			}
+			var le string
+			rest := labels[:0:0]
+			for _, l := range labels {
+				if l.Key == "le" {
+					le = l.Value
+				} else {
+					rest = append(rest, l)
+				}
+			}
+			sk := renderParsed(rest)
+			hs, ok := byLabels[sk]
+			if !ok {
+				hs = &histSeries{}
+				byLabels[sk] = hs
+			}
+			hs.lastLine = ln
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					fail(ln, "%s_bucket without an le label", base)
+					continue
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					if bound, err = strconv.ParseFloat(le, 64); err != nil {
+						fail(ln, "unparseable le %q", le)
+						continue
+					}
+				}
+				if n := len(hs.les); n > 0 && hs.les[n-1] >= bound {
+					fail(ln, "%s bucket le=%q not strictly increasing", base, le)
+				}
+				if n := len(hs.counts); n > 0 && hs.counts[n-1] > value {
+					fail(ln, "%s bucket le=%q cumulative count decreased", base, le)
+				}
+				hs.les = append(hs.les, bound)
+				hs.counts = append(hs.counts, value)
+			case "_sum":
+				if hs.sum != nil {
+					fail(ln, "duplicate %s_sum", base)
+				}
+				v := value
+				hs.sum = &v
+			case "_count":
+				if hs.count != nil {
+					fail(ln, "duplicate %s_count", base)
+				}
+				v := value
+				hs.count = &v
+			}
+		}
+	}
+
+	for base, byLabels := range hists {
+		for sk, hs := range byLabels {
+			where := base
+			if sk != "" {
+				where = base + "{" + sk + "}"
+			}
+			if len(hs.les) == 0 || !math.IsInf(hs.les[len(hs.les)-1], 1) {
+				fail(hs.lastLine, "%s missing terminal +Inf bucket", where)
+				continue
+			}
+			if hs.count == nil {
+				fail(hs.lastLine, "%s missing _count", where)
+			} else if inf := hs.counts[len(hs.counts)-1]; *hs.count != inf {
+				fail(hs.lastLine, "%s _count %v != +Inf bucket %v", where, *hs.count, inf)
+			}
+			if hs.sum == nil {
+				fail(hs.lastLine, "%s missing _sum", where)
+			}
+		}
+	}
+	if !sawSample && len(errs) == 0 {
+		errs = append(errs, ErrNoMetrics)
+	}
+	return errs
+}
+
+// parseComment splits a `# HELP name rest` / `# TYPE name rest` line.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", "", false
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return fields[1], fields[2], rest, true
+}
+
+// parseSample parses one `name[{labels}] value` line.
+func parseSample(line string) (name string, labels []Label, value float64, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if labels, err = parseLabels(rest[1:end]); err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// An optional timestamp may follow the value.
+	valStr := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		valStr = rest[:sp]
+		if _, terr := strconv.ParseInt(strings.TrimSpace(rest[sp+1:]), 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("unparseable timestamp in %q", line)
+		}
+	}
+	switch valStr {
+	case "+Inf", "Inf":
+		return name, labels, math.Inf(1), nil
+	case "-Inf":
+		return name, labels, math.Inf(-1), nil
+	case "NaN":
+		return name, labels, math.NaN(), nil
+	}
+	if value, err = strconv.ParseFloat(valStr, 64); err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q", valStr)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses the body of a label set (`k="v",k2="v2"`).
+func parseLabels(body string) ([]Label, error) {
+	var out []Label
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", body)
+		}
+		key := body[:eq]
+		if !validName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		body = body[eq+1:]
+		if !strings.HasPrefix(body, `"`) {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		body = body[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("dangling escape in label %q", key)
+				}
+				i++
+				switch body[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", body[i], key)
+				}
+				continue
+			}
+			if c == '"' {
+				body = body[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", key)
+		}
+		out = append(out, Label{Key: key, Value: val.String()})
+		body = strings.TrimPrefix(body, ",")
+	}
+	return out, nil
+}
+
+// renderParsed canonicalizes a parsed label set for duplicate detection.
+func renderParsed(labels []Label) string {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fullRegistry builds a registry exercising every instrument kind,
+// label shapes, and escaping-sensitive help text.
+func fullRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Requests handled.", L("endpoint", "search"), L("code", "200")).Add(7)
+	r.Counter("test_requests_total", "Requests handled.", L("endpoint", "search"), L("code", "400")).Inc()
+	r.Counter("test_requests_total", "Requests handled.", L("endpoint", "put"), L("code", "200")).Add(3)
+	r.Gauge("test_inflight", "In-flight requests.").Set(2)
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	r.Gauge("test_weird", `Help with a \ backslash
+and a newline.`, L("q", `va"l\ue`+"\n")).Set(-1.5)
+	h := r.Histogram("test_latency_seconds", "Latency.", nil, L("endpoint", "search"))
+	for _, v := range []float64{0.00001, 0.0004, 0.02, 3, 100} {
+		h.Observe(v)
+	}
+	r.Histogram("test_latency_seconds", "Latency.", nil, L("endpoint", "put")).Observe(0.5)
+	r.Histogram("test_empty_seconds", "Never observed.", []float64{1, 2, 3})
+	return r
+}
+
+// TestExpositionConformance renders the kitchen-sink registry and runs
+// the linter over it: every line must parse, HELP/TYPE order must hold,
+// histogram buckets must be monotonic with a terminal +Inf and
+// consistent sum/count.
+func TestExpositionConformance(t *testing.T) {
+	var b strings.Builder
+	if err := fullRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, err := range Lint([]byte(out)) {
+		t.Errorf("lint: %v", err)
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", out)
+	}
+	// Spot-check the exact shapes the linter can't know we intended.
+	for _, want := range []string{
+		`test_requests_total{code="200",endpoint="search"} 7`,
+		`test_requests_total{code="400",endpoint="search"} 1`,
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{endpoint="search",le="+Inf"} 5`,
+		`test_latency_seconds_count{endpoint="search"} 5`,
+		`test_empty_seconds_count 0`,
+		`test_weird{q="va\"l\\ue\n"} -1.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestLintCatchesViolations feeds the linter known-bad expositions; a
+// linter that passes everything would make the conformance test above
+// meaningless.
+func TestLintCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"bad name":           "9bad_name 1\n",
+		"bad value":          "ok_name one\n",
+		"unterminated label": `ok_name{a="b 1` + "\n",
+		"duplicate sample":   "x 1\nx 2\n",
+		"help after sample":  "x 1\n# HELP x late\n",
+		"dup type":           "# TYPE x counter\n# TYPE x gauge\nx 1\n",
+		"non-monotonic le": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="1"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\n",
+		"decreasing cumulative": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 2\n",
+		"missing sum": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_count 1\n",
+		"empty": "",
+	}
+	for name, in := range cases {
+		if errs := Lint([]byte(in)); len(errs) == 0 {
+			t.Errorf("%s: lint passed %q", name, in)
+		}
+	}
+}
+
+// TestHistogramBuckets pins the bucket assignment semantics: values land
+// in the first bucket whose upper bound is >= v (le = "less or equal"),
+// overflow lands in +Inf only.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	cum, count, sum := h.snapshot()
+	if count != 8 {
+		t.Fatalf("count = %d, want 8", count)
+	}
+	// cumulative: <=1: {0.5, 1} = 2; <=2: +{1.5, 2} = 4; <=4: +{3, 4} = 6; +Inf: 8.
+	want := []uint64{2, 4, 6, 8}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (cum %v)", i, cum[i], w, cum)
+		}
+	}
+	if wantSum := 0.5 + 1 + 1.5 + 2 + 3 + 4 + 5 + 100; sum != wantSum {
+		t.Fatalf("sum = %v, want %v", sum, wantSum)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines under -race: the striped shards must race-cleanly absorb
+// concurrent observations and fold to exact totals.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	const goroutines = 16
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Spread across buckets and stripes.
+				h.Observe(float64(g*perG+i) * 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := h.Count(); n != goroutines*perG {
+		t.Fatalf("count = %d, want %d", n, goroutines*perG)
+	}
+	cum, _, _ := h.snapshot()
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts decreased at %d: %v", i, cum)
+		}
+	}
+}
+
+// TestCountersAndGaugesConcurrent keeps the scalar instruments honest
+// under -race too.
+func TestCountersAndGaugesConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+// TestGetOrCreateIdentity re-requesting an instrument with the same name
+// and labels must return the same instrument (the request path relies on
+// this for status-code counters).
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", L("k", "v"))
+	b := r.Counter("x_total", "x", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x_total", "x", L("k", "w"))
+	if a == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	// Label order must not matter.
+	h1 := r.Histogram("h_seconds", "h", nil, L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("h_seconds", "h", nil, L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order changed instrument identity")
+	}
+}
+
+// TestKindMismatchPanics registering one name as two kinds is a wiring
+// bug and must fail loudly.
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "d")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("dual", "d")
+}
+
+// TestObserveAllocs the hot-path operations must not allocate: they run
+// inside the request path and (for stage timers) per search.
+func TestObserveAllocs(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	r := NewRegistry()
+	c := r.Counter("a_total", "a")
+	g := r.Gauge("b", "b")
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.0042)
+		c.Inc()
+		g.Set(3)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v times per op", n)
+	}
+	t0 := time.Now()
+	if n := testing.AllocsPerRun(1000, func() { h.ObserveSince(t0) }); n != 0 {
+		t.Fatalf("ObserveSince allocates %v times per op", n)
+	}
+}

@@ -141,6 +141,26 @@ const DefaultSegmentBytes = 64 << 20
 // Options.SyncInterval is zero.
 const DefaultSyncInterval = 100 * time.Millisecond
 
+// Observer receives one latency observation in seconds. It is satisfied
+// by *telemetry.Histogram; declaring it here keeps the log free of any
+// telemetry dependency.
+type Observer interface {
+	Observe(v float64)
+}
+
+// Metrics are the optional latency observers a Log reports into. Zero
+// fields are simply not observed; when a field is nil the corresponding
+// code path takes no clock readings at all.
+type Metrics struct {
+	// AppendSeconds observes the full latency of each Append — frame
+	// assembly, write(2), and (under SyncAlways) the fsync.
+	AppendSeconds Observer
+	// SyncSeconds observes each fsync of the active segment, whatever
+	// triggered it (SyncAlways appends, the interval flusher, rotation,
+	// or an explicit Sync).
+	SyncSeconds Observer
+}
+
 // Options configures a Log.
 type Options struct {
 	// Dir is the log directory (created if missing).
@@ -192,6 +212,8 @@ type Log struct {
 	scratch  []byte // frame assembly buffer
 
 	appends, syncs, rotations uint64
+
+	metrics Metrics
 
 	tornNote string // human-readable note when Open truncated a torn tail
 
@@ -332,6 +354,23 @@ func (l *Log) createSegmentLocked(firstLSN uint64) error {
 	return nil
 }
 
+// SetMetrics installs latency observers. Call between Open and the
+// first Append (the boot sequence constructs the log before the serving
+// layer that owns the metrics registry exists).
+func (l *Log) SetMetrics(m Metrics) {
+	l.mu.Lock()
+	l.metrics = m
+	l.mu.Unlock()
+}
+
+// observe reports the seconds since t0 to obs; the nil checks keep the
+// un-instrumented paths free of clock reads and observer calls.
+func observe(obs Observer, t0 time.Time) {
+	if obs != nil {
+		obs.Observe(time.Since(t0).Seconds())
+	}
+}
+
 // Append logs one mutation and returns its LSN. The record has reached
 // the kernel when Append returns; under SyncAlways it has also been
 // fsynced.
@@ -340,6 +379,9 @@ func (l *Log) Append(op Op, name, tag string, payload []byte) (uint64, error) {
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, errors.New("wal: appending to a closed log")
+	}
+	if l.metrics.AppendSeconds != nil {
+		defer observe(l.metrics.AppendSeconds, time.Now())
 	}
 	lsn := l.nextLSN
 	frame := appendFrame(l.scratch[:0], lsn, op, name, tag, payload)
@@ -360,8 +402,15 @@ func (l *Log) Append(op Op, name, tag string, payload []byte) (uint64, error) {
 	l.appends++
 	switch l.opts.Sync {
 	case SyncAlways:
+		syncStart := time.Time{}
+		if l.metrics.SyncSeconds != nil {
+			syncStart = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			return 0, fmt.Errorf("wal: syncing record %d: %w", lsn, err)
+		}
+		if l.metrics.SyncSeconds != nil {
+			observe(l.metrics.SyncSeconds, syncStart)
 		}
 		l.syncs++
 	case SyncInterval:
@@ -588,6 +637,9 @@ func (l *Log) Sync() error {
 func (l *Log) syncLocked() error {
 	if l.closed || l.f == nil {
 		return nil
+	}
+	if l.metrics.SyncSeconds != nil {
+		defer observe(l.metrics.SyncSeconds, time.Now())
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: syncing: %w", err)

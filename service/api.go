@@ -164,10 +164,16 @@ type HealthResponse struct {
 }
 
 // ReadyResponse is the /readyz body; Status is "ready", "replaying", or
-// "draining" (the latter two with HTTP 503).
+// "draining" (the latter two with HTTP 503). On a WAL-backed server the
+// log positions are included, so a "replaying" 503 says where the boot
+// replay is headed (WALLSN, the last record on disk) and where it starts
+// (WALCheckpointLSN, the snapshot checkpoint) — enough to judge how far
+// along a slow boot is from the outside.
 type ReadyResponse struct {
-	Status string `json:"status"`
-	Tables int    `json:"tables"`
+	Status           string `json:"status"`
+	Tables           int    `json:"tables"`
+	WALLSN           uint64 `json:"wal_lsn,omitempty"`
+	WALCheckpointLSN uint64 `json:"wal_checkpoint_lsn,omitempty"`
 }
 
 // HeaderIdempotencyKey carries a client-chosen request ID on
@@ -178,6 +184,13 @@ const HeaderIdempotencyKey = "Idempotency-Key"
 // HeaderIdempotentReplay marks a merge response that was answered from
 // the dedupe cache rather than a fresh application.
 const HeaderIdempotentReplay = "X-Idempotent-Replay"
+
+// HeaderRequestID carries the request correlation ID. The server accepts
+// an inbound value (so a caller's ID flows through its logs and errors)
+// or generates one, and always echoes the ID on the response — including
+// error responses, which is what lets a client error message name the
+// exact server-side log lines to look at.
+const HeaderRequestID = "X-Request-ID"
 
 // WALStats describes the write-ahead log in /statsz.
 type WALStats struct {
@@ -200,7 +213,10 @@ type ScanSearchStats struct {
 	Fallback   int64 `json:"fallback"`
 }
 
-// StatsResponse is the /statsz body.
+// StatsResponse is the /statsz body: a frozen JSON surface giving
+// existing consumers basic liveness data (uptime, goroutines, heap)
+// without a Prometheus scraper. New instrumentation lands in /metrics
+// only; /statsz counters stay for compatibility but do not grow.
 type StatsResponse struct {
 	Tables        int     `json:"tables"`
 	Shards        int     `json:"shards"`
@@ -217,6 +233,8 @@ type StatsResponse struct {
 	Estimates     int64   `json:"estimates"`
 	Snapshots     int64   `json:"snapshots"`
 	Errors        int64   `json:"errors"`
+	GoGoroutines  int     `json:"go_goroutines"`
+	HeapBytes     uint64  `json:"heap_bytes"`
 	SnapshotPath  string  `json:"snapshot_path,omitempty"`
 	LastSnapshot  string  `json:"last_snapshot_utc,omitempty"`
 	Ready         bool    `json:"ready"`
@@ -229,6 +247,44 @@ type StatsResponse struct {
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// SlowLogEntry is one recorded slow /search. Durations are nanoseconds;
+// the wall-clock stages partition the total exactly: SnapshotNanos +
+// ScanNanos + MergeNanos + OtherNanos == TotalNanos (OtherNanos is the
+// request work outside the catalog search — body decode, query
+// sketching, slot queueing). ColumnarCPUNanos and FallbackCPUNanos are
+// CPU time summed across the scan's parallel workers, so they can exceed
+// ScanNanos on multi-core scans.
+type SlowLogEntry struct {
+	RequestID string `json:"request_id,omitempty"`
+	TimeUTC   string `json:"time_utc"`
+	Column    string `json:"column"`
+	RankBy    string `json:"rank_by"`
+	K         int    `json:"k"`
+	Results   int    `json:"results"`
+
+	TotalNanos    int64 `json:"total_ns"`
+	SnapshotNanos int64 `json:"snapshot_ns"`
+	ScanNanos     int64 `json:"scan_ns"`
+	MergeNanos    int64 `json:"merge_ns"`
+	OtherNanos    int64 `json:"other_ns"`
+
+	ColumnarCPUNanos int64 `json:"columnar_cpu_ns"`
+	FallbackCPUNanos int64 `json:"fallback_cpu_ns"`
+
+	Candidates int64 `json:"candidates"`
+	Pruned     int64 `json:"pruned"`
+	Columnar   int64 `json:"columnar"`
+	Fallback   int64 `json:"fallback"`
+}
+
+// SlowLogResponse is the /debug/slowlog body: the slowest recorded
+// searches, slowest first.
+type SlowLogResponse struct {
+	ThresholdNanos int64          `json:"threshold_ns"`
+	Capacity       int            `json:"capacity"`
+	Entries        []SlowLogEntry `json:"entries"`
 }
 
 // JoinStatsJSON mirrors ipsketch.JoinStats with NaN-safe floats.

@@ -53,6 +53,16 @@ type Error struct {
 	Attempts  int
 	Err       error // underlying transport/decode error, if any
 
+	// RequestID is the X-Request-ID the failing response carried — the
+	// client sends one on every request (the same ID across a call's
+	// retries) and the server echoes it, so this names the exact
+	// server-side access-log lines and slowlog entries to look at.
+	RequestID string
+	// IdempotentReplay reports that the failing response was marked
+	// X-Idempotent-Replay: the server answered from its dedupe cache, so
+	// the error describes the original application, not a fresh one.
+	IdempotentReplay bool
+
 	retryAfter string // server-provided Retry-After, if any
 }
 
@@ -70,6 +80,12 @@ func (e *Error) Error() string {
 	}
 	if e.Attempts > 1 {
 		fmt.Fprintf(&b, " (after %d attempts)", e.Attempts)
+	}
+	if e.IdempotentReplay {
+		b.WriteString(" (idempotent replay)")
+	}
+	if e.RequestID != "" {
+		fmt.Fprintf(&b, " [request %s]", e.RequestID)
 	}
 	return b.String()
 }
@@ -174,6 +190,18 @@ func NewIdempotencyKey() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
+// newRequestID mints the X-Request-ID for one logical call (64 random
+// bits, hex). The same ID is reused across a call's retries, so the
+// server's access log shows the retry cluster under one ID. Entropy-pool
+// failure degrades to an empty ID (the server then assigns one).
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // retryable classifies a transport error. Connection failures and
 // timeouts are safe to retry; an explicit context cancellation is not.
 func retryableTransport(err error) bool {
@@ -232,6 +260,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	if !idempotent {
 		attempts = 1
 	}
+	requestID := newRequestID()
 	var last *Error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
@@ -242,7 +271,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 				return last
 			}
 		}
-		last = c.attempt(ctx, method, path, contentType, body, headers, out)
+		last = c.attemptID(ctx, method, path, contentType, body, headers, requestID, out)
 		if last == nil {
 			return nil
 		}
@@ -255,34 +284,48 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	return last
 }
 
-// attempt issues a single request. A nil return means success with out
-// populated; otherwise the *Error classifies the failure (Op and
-// Attempts are filled in by the caller).
+// attempt issues a single request with a fresh request ID (the retrying
+// do loop uses attemptID to keep one ID across a call's attempts).
 func (c *Client) attempt(ctx context.Context, method, path, contentType string, body []byte, headers map[string]string, out any) *Error {
+	return c.attemptID(ctx, method, path, contentType, body, headers, newRequestID(), out)
+}
+
+// attemptID issues a single request carrying requestID. A nil return
+// means success with out populated; otherwise the *Error classifies the
+// failure (Op and Attempts are filled in by the caller).
+func (c *Client) attemptID(ctx context.Context, method, path, contentType string, body []byte, headers map[string]string, requestID string, out any) *Error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return &Error{Err: err}
+		return &Error{Err: err, RequestID: requestID}
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if requestID != "" {
+		req.Header.Set(service.HeaderRequestID, requestID)
 	}
 	for k, v := range headers {
 		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return &Error{Err: err, Retryable: retryableTransport(err)}
+		return &Error{Err: err, Retryable: retryableTransport(err), RequestID: requestID}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		e := &Error{
-			Status:     resp.StatusCode,
-			Retryable:  retryableStatus(resp.StatusCode),
-			retryAfter: resp.Header.Get("Retry-After"),
+			Status:           resp.StatusCode,
+			Retryable:        retryableStatus(resp.StatusCode),
+			retryAfter:       resp.Header.Get("Retry-After"),
+			RequestID:        resp.Header.Get(service.HeaderRequestID),
+			IdempotentReplay: resp.Header.Get(service.HeaderIdempotentReplay) == "true",
+		}
+		if e.RequestID == "" {
+			e.RequestID = requestID
 		}
 		var body service.ErrorResponse
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body) == nil && body.Error != "" {
@@ -294,7 +337,7 @@ func (c *Client) attempt(ctx context.Context, method, path, contentType string, 
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return &Error{Err: fmt.Errorf("decoding response: %w", err)}
+		return &Error{Err: fmt.Errorf("decoding response: %w", err), RequestID: requestID}
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -50,6 +51,15 @@ type Config struct {
 	RequestTimeout time.Duration
 	// DedupeCap bounds the merge idempotency-key LRU (0 = 1024).
 	DedupeCap int
+	// SlowLogSize bounds the slow-query log behind GET /debug/slowlog
+	// (0 = DefaultSlowLogSize).
+	SlowLogSize int
+	// SlowLogThreshold is the minimum /search latency recorded in the
+	// slow-query log (0 = record every search until the log is contested).
+	SlowLogThreshold time.Duration
+	// AccessLog, when set, receives one structured line per request
+	// (method, path, status, duration, bytes, request ID).
+	AccessLog *slog.Logger
 }
 
 // Server serves a sketch catalog over HTTP. Create with New, mount
@@ -78,6 +88,15 @@ type Server struct {
 	snapMu sync.RWMutex
 
 	dedupe dedupe
+
+	// metrics is the telemetry wiring (see telemetry.go); slowlog keeps
+	// the N slowest searches; inflight counts requests inside the handler
+	// stack for the drain path; bootID+reqSeq mint request IDs.
+	metrics  *serverMetrics
+	slowlog  slowLog
+	inflight atomic.Int64
+	bootID   string
+	reqSeq   atomic.Uint64
 
 	puts, merges, deletes, searches, estimates, snapshots, errs, replayed atomic.Int64
 	lastSnapshotUnixNano                                                  atomic.Int64
@@ -114,11 +133,22 @@ func New(cfg Config) (*Server, error) {
 		start:     time.Now(),
 		ingestSem: make(chan struct{}, cfg.IngestLimit),
 		searchSem: make(chan struct{}, cfg.SearchLimit),
+		bootID:    newBootID(),
 	}
 	s.dedupe.init(cfg.DedupeCap)
-	catOpts := catalog.Options{Shards: cfg.Shards, Strict: !cfg.Lax}
+	s.slowlog.init(cfg.SlowLogSize, cfg.SlowLogThreshold)
+	s.initMetrics()
+	catOpts := catalog.Options{
+		Shards:          cfg.Shards,
+		Strict:          !cfg.Lax,
+		PublishObserver: s.metrics.catalogPublish,
+	}
 	if cfg.WAL != nil {
 		catOpts.OnMutate = s.logMutation
+		cfg.WAL.SetMetrics(wal.Metrics{
+			AppendSeconds: s.metrics.walAppend,
+			SyncSeconds:   s.metrics.walFsync,
+		})
 	}
 	s.cat = catalog.New(catOpts)
 	// A WAL-backed server is born not-ready: traffic is rejected until
@@ -138,16 +168,18 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("PUT /tables/{name}", s.handlePutTable)
-	s.mux.HandleFunc("POST /tables/{name}/merge", s.handleMergeTable)
-	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDeleteTable)
-	s.mux.HandleFunc("POST /search", s.handleSearch)
-	s.mux.HandleFunc("POST /estimate", s.handleEstimate)
-	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
-	s.handler = s.middleware(s.mux)
+	s.mux.HandleFunc("PUT /tables/{name}", s.instrument("put_table", s.handlePutTable))
+	s.mux.HandleFunc("POST /tables/{name}/merge", s.instrument("merge_table", s.handleMergeTable))
+	s.mux.HandleFunc("DELETE /tables/{name}", s.instrument("delete_table", s.handleDeleteTable))
+	s.mux.HandleFunc("POST /search", s.instrument("search", s.handleSearch))
+	s.mux.HandleFunc("POST /estimate", s.instrument("estimate", s.handleEstimate))
+	s.mux.HandleFunc("POST /snapshot", s.instrument("snapshot", s.handleSnapshot))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /statsz", s.instrument("statsz", s.handleStatsz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/slowlog", s.instrument("slowlog", s.handleSlowLog))
+	s.handler = s.observe(s.middleware(s.mux))
 	return s, nil
 }
 
@@ -163,7 +195,7 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() {
 			switch r.URL.Path {
-			case "/healthz", "/readyz", "/statsz":
+			case "/healthz", "/readyz", "/statsz", "/metrics", "/debug/slowlog":
 			default:
 				w.Header().Set("Retry-After", "1")
 				s.writeError(w, http.StatusServiceUnavailable, errors.New("service: not ready (replaying)"))
@@ -286,6 +318,7 @@ func (s *Server) SaveSnapshot() error {
 	if s.cfg.SnapshotPath == "" {
 		return errors.New("service: no snapshot path configured")
 	}
+	defer s.metrics.snapshotSave.ObserveSince(time.Now())
 	if s.cfg.WAL == nil {
 		if err := s.cat.Save(s.cfg.SnapshotPath); err != nil {
 			return err
@@ -315,6 +348,7 @@ func (s *Server) LoadSnapshot() (int, error) {
 	if s.cfg.SnapshotPath == "" {
 		return 0, errors.New("service: no snapshot path configured")
 	}
+	defer s.metrics.snapshotLoad.ObserveSince(time.Now())
 	return s.cat.Load(s.cfg.SnapshotPath)
 }
 
@@ -675,6 +709,7 @@ func (s *Server) querySketch(req *SearchRequest) (*ipsketch.TableSketch, error) 
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if err := s.acquire(r.Context(), s.searchSem); err != nil {
 		s.writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -713,6 +748,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.scanPruned.Add(scan.Pruned)
 	s.scanColumnar.Add(scan.Columnar)
 	s.scanFallback.Add(scan.Fallback)
+	s.observeSearch(r.Context(), start, &req, k, len(results), scan)
 	hits := make([]SearchHit, len(results))
 	for i, r := range results {
 		hits[i] = hitFromResult(r)
@@ -783,12 +819,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	case !s.ready.Load():
 		status, code = "replaying", http.StatusServiceUnavailable
 	}
+	resp := ReadyResponse{Status: status, Tables: s.cat.Len()}
+	if wl := s.cfg.WAL; wl != nil {
+		resp.WALLSN = wl.LSN()
+		resp.WALCheckpointLSN = wl.CheckpointLSN()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if code != http.StatusOK {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(ReadyResponse{Status: status, Tables: s.cat.Len()})
+	json.NewEncoder(w).Encode(resp)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -808,10 +849,14 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Estimates:     s.estimates.Load(),
 		Snapshots:     s.snapshots.Load(),
 		Errors:        s.errs.Load(),
+		GoGoroutines:  runtime.NumGoroutine(),
 		SnapshotPath:  s.cfg.SnapshotPath,
 		Ready:         s.ready.Load(),
 		Draining:      s.draining.Load(),
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	resp.HeapBytes = ms.HeapAlloc
 	if ns := s.lastSnapshotUnixNano.Load(); ns != 0 {
 		resp.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339)
 	}
