@@ -1,0 +1,318 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	ipsketch "repro"
+	"repro/internal/cluster"
+	"repro/service"
+	"repro/service/client"
+)
+
+// reserveAddrs grabs n distinct loopback ports and releases them, so a
+// cluster's membership list can be fixed before any node boots. The
+// small bind race between Close and the child's Listen is acceptable in
+// tests (a clash fails loudly at startup).
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// clusterPayload builds a deterministic table whose key set overlaps the
+// clusterQuery keys with seed-dependent density.
+func clusterPayload(seed int) service.TablePayload {
+	rows := 40 + seed%5*8
+	keys := make([]uint64, rows)
+	vals := make([]float64, rows)
+	for i := range keys {
+		keys[i] = uint64(i*2 + seed%3)
+		// i-dependent term keeps every column's variance nonzero, so no
+		// table drops out of the correlation ranking.
+		vals[i] = float64((i*seed)%17 + 1 + i%3)
+	}
+	return service.TablePayload{Keys: keys, Columns: map[string][]float64{"v": vals}}
+}
+
+func clusterQuery() service.TablePayload {
+	return service.TablePayload{
+		Keys:    []uint64{0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 20, 30, 40, 50},
+		Columns: map[string][]float64{"v": {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}},
+	}
+}
+
+// TestSketchdClusterFailover is the cluster fault-injection e2e: three
+// daemon subprocesses with consistent-hash placement answer scatter-
+// gather searches bit-exactly like one node holding everything; kill -9
+// of one node degrades lenient nodes to partial results and the strict
+// node to a typed 503; restarting the dead node over its WAL brings the
+// cluster back to full bit-exact rankings once the health checker
+// readmits it.
+func TestSketchdClusterFailover(t *testing.T) {
+	ctx := context.Background()
+	addrs := reserveAddrs(t, 3)
+	urls := make([]string, len(addrs))
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	peersFlag := strings.Join(urls, ",")
+	// The test-side ring mirrors the daemons' placement: same peer list,
+	// same defaults.
+	ring, err := cluster.NewRing(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sketchArgs := []string{"-method", "MH", "-storage", "200", "-seed", "11", "-keyspace", "1048576", "-shards", "2"}
+	nodeArgs := func(i int) []string {
+		args := append([]string{"-addr", addrs[i]}, sketchArgs...)
+		args = append(args,
+			"-wal", t.TempDir(),
+			"-cluster-self", urls[i],
+			"-cluster-peers", peersFlag,
+			"-cluster-probe-interval", "50ms",
+			"-cluster-probe-timeout", "500ms",
+			"-cluster-probe-backoff-cap", "200ms",
+			"-cluster-fail-threshold", "2",
+		)
+		if i == 2 {
+			args = append(args, "-cluster-strict")
+		}
+		return args
+	}
+	walB := t.TempDir()
+	argsB := func() []string {
+		args := nodeArgs(1)
+		args[len(sketchArgs)+3] = walB // pin B's WAL dir so the restart replays it
+		return args
+	}
+
+	nodes := make([]*childDaemon, 3)
+	nodes[0] = startChild(t, nodeArgs(0)...)
+	nodes[1] = startChild(t, argsB()...)
+	nodes[2] = startChild(t, nodeArgs(2)...)
+	for i, d := range nodes {
+		if err := d.cl.WaitReady(ctx); err != nil {
+			t.Fatalf("node %d never ready: %v", i, err)
+		}
+	}
+
+	// Synthesize table names until every node owns at least two: the
+	// hash can cluster similar names onto one node, so membership in the
+	// workload is by placement, not by counting.
+	tables := map[string]service.TablePayload{}
+	owned := map[string]int{}
+	for i := 0; len(tables) < 9 || owned[urls[0]] < 2 || owned[urls[1]] < 2 || owned[urls[2]] < 2; i++ {
+		if i > 4096 {
+			t.Fatal("could not spread tables over all nodes")
+		}
+		name := fmt.Sprintf("cl-%03d", i)
+		if owned[ring.Owner(name)] >= 4 {
+			continue
+		}
+		owned[ring.Owner(name)]++
+		tables[name] = clusterPayload(i)
+	}
+	// Everything ingests through node A; placement forwards to owners.
+	for name, p := range tables {
+		if _, err := nodes[0].cl.PutTable(ctx, name, p); err != nil {
+			t.Fatalf("put %s: %v", name, err)
+		}
+	}
+
+	// Control: one in-process daemon holding the whole workload.
+	control, stopControl := startDaemon(t, sketchArgs...)
+	defer stopControl()
+	for name, p := range tables {
+		if _, err := control.PutTable(ctx, name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	query := clusterQuery()
+	rankBys := []string{"join_size", "abs_inner_product", "abs_correlation"}
+	wantFull := map[string][]ipsketch.SearchResult{}
+	for _, rankBy := range rankBys {
+		want, err := control.Search(ctx, service.SearchRequest{Table: &query, Column: "v", RankBy: rankBy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(tables) {
+			t.Fatalf("%s: control ranked %d tables, want %d", rankBy, len(want), len(tables))
+		}
+		wantFull[rankBy] = want
+	}
+	checkRanking := func(label string, hits []service.SearchHit, want []ipsketch.SearchResult) {
+		t.Helper()
+		got := make([]ipsketch.SearchResult, len(hits))
+		for i, h := range hits {
+			got[i] = h.Result()
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+		}
+		for i := range want {
+			if !resultsIdentical(got[i], want[i]) {
+				t.Fatalf("%s: rank %d differs:\n got %+v\nwant %+v", label, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Healthy cluster: every node coordinates the same bit-exact ranking
+	// as the single-node control.
+	for i, d := range nodes {
+		for _, rankBy := range rankBys {
+			resp, err := d.cl.SearchFull(ctx, service.SearchRequest{Table: &query, Column: "v", RankBy: rankBy})
+			if err != nil {
+				t.Fatalf("node %d %s: %v", i, rankBy, err)
+			}
+			if resp.NodesTotal != 3 || resp.NodesOK != 3 || resp.NodesFailed != 0 {
+				t.Fatalf("node %d %s: envelope %d/%d/%d, want 3/3/0",
+					i, rankBy, resp.NodesTotal, resp.NodesOK, resp.NodesFailed)
+			}
+			checkRanking(fmt.Sprintf("node %d %s", i, rankBy), resp.Results, wantFull[rankBy])
+		}
+	}
+
+	// kill -9 node B with queries in flight against the lenient
+	// coordinator: no query may error (full before the kill, partial
+	// after), the degradation is graceful by construction.
+	searchErr := make(chan error, 1)
+	searchStop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-searchStop:
+				searchErr <- nil
+				return
+			default:
+			}
+			if _, err := nodes[0].cl.SearchFull(ctx, service.SearchRequest{Table: &query, Column: "v", RankBy: "join_size"}); err != nil {
+				searchErr <- fmt.Errorf("query during node kill: %w", err)
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	nodes[1].kill9(t)
+	time.Sleep(50 * time.Millisecond)
+	close(searchStop)
+	if err := <-searchErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// Partial results from the lenient node: exactly the live nodes'
+	// tables, in the control's relative order.
+	wantPartial := map[string][]ipsketch.SearchResult{}
+	for _, rankBy := range rankBys {
+		for _, r := range wantFull[rankBy] {
+			if ring.Owner(r.Table) != urls[1] {
+				wantPartial[rankBy] = append(wantPartial[rankBy], r)
+			}
+		}
+	}
+	for _, rankBy := range rankBys {
+		resp, err := nodes[0].cl.SearchFull(ctx, service.SearchRequest{Table: &query, Column: "v", RankBy: rankBy})
+		if err != nil {
+			t.Fatalf("degraded %s: %v", rankBy, err)
+		}
+		if resp.NodesTotal != 3 || resp.NodesOK != 2 || resp.NodesFailed != 1 {
+			t.Fatalf("degraded %s: envelope %d/%d/%d, want 3/2/1",
+				rankBy, resp.NodesTotal, resp.NodesOK, resp.NodesFailed)
+		}
+		checkRanking("degraded "+rankBy, resp.Results, wantPartial[rankBy])
+	}
+
+	// The strict node refuses to serve a degraded ranking.
+	_, err = nodes[2].cl.SearchFull(ctx, service.SearchRequest{Table: &query, Column: "v", RankBy: "join_size"})
+	if err == nil {
+		t.Fatal("strict node served a search with a dead peer")
+	}
+	if code := client.CodeOf(err); code != service.ErrCodeClusterDegraded {
+		t.Fatalf("strict node error code = %q, want %q (%v)", code, service.ErrCodeClusterDegraded, err)
+	}
+
+	// A mutation owned by the dead node is refused with a typed error.
+	deadOwned := ""
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("dead-%03d", i)
+		if ring.Owner(name) == urls[1] {
+			deadOwned = name
+			break
+		}
+	}
+	if deadOwned == "" {
+		t.Fatal("no candidate name owned by the dead node")
+	}
+	if _, err := nodes[0].cl.PutTable(ctx, deadOwned, clusterPayload(99)); err == nil {
+		t.Fatalf("put of %s (owned by the dead node) succeeded", deadOwned)
+	} else if code := client.CodeOf(err); code != service.ErrCodeOwnerUnavailable {
+		t.Fatalf("dead-owner put error code = %q, want %q (%v)", code, service.ErrCodeOwnerUnavailable, err)
+	}
+
+	// Restart node B on the same address over the same WAL: replay
+	// restores its shard, /readyz flips, the health probes readmit it.
+	nodes[1] = startChild(t, argsB()...)
+	if err := nodes[1].cl.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := nodes[1].cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := owned[urls[1]]; hb.Tables != want {
+		t.Fatalf("restarted node replayed %d tables, want its %d owned ones", hb.Tables, want)
+	}
+	readmitted := false
+	for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); {
+		resp, err := nodes[0].cl.SearchFull(ctx, service.SearchRequest{Table: &query, Column: "v", RankBy: "join_size"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.NodesFailed == 0 {
+			readmitted = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !readmitted {
+		t.Fatal("restarted node was never readmitted")
+	}
+
+	// Full bit-exact rankings again, from every coordinator including
+	// the strict one and the restarted node itself.
+	for i, d := range nodes {
+		for _, rankBy := range rankBys {
+			resp, err := d.cl.SearchFull(ctx, service.SearchRequest{Table: &query, Column: "v", RankBy: rankBy})
+			if err != nil {
+				t.Fatalf("recovered node %d %s: %v", i, rankBy, err)
+			}
+			if resp.NodesOK != 3 || resp.NodesFailed != 0 {
+				t.Fatalf("recovered node %d %s: envelope %d/%d/%d, want 3/3/0",
+					i, rankBy, resp.NodesTotal, resp.NodesOK, resp.NodesFailed)
+			}
+			checkRanking(fmt.Sprintf("recovered node %d %s", i, rankBy), resp.Results, wantFull[rankBy])
+		}
+	}
+
+	// The previously refused mutation now lands on the recovered owner.
+	if _, err := nodes[0].cl.PutTable(ctx, deadOwned, clusterPayload(99)); err != nil {
+		t.Fatalf("put of %s after recovery: %v", deadOwned, err)
+	}
+	if found, err := nodes[1].cl.DeleteTable(ctx, deadOwned); err != nil || !found {
+		t.Fatalf("recovered owner does not hold %s (found=%v err=%v)", deadOwned, found, err)
+	}
+}

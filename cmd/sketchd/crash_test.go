@@ -422,3 +422,60 @@ func TestSketchdSnapshotRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSketchdDeleteSurvivesKill9: a DELETE is a logged mutation like any
+// other. Snapshot tables a and b, delete a, then kill -9: the restart
+// restores the snapshot and replays the delete from the WAL tail, so a
+// stays deleted and b survives.
+func TestSketchdDeleteSurvivesKill9(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	snap := filepath.Join(dir, "catalog.ipsx")
+	cfgArgs := []string{"-method", "WMH", "-storage", "200", "-seed", "9", "-keyspace", "1048576",
+		"-wal", walDir, "-snapshot", snap}
+	ctx := context.Background()
+
+	d := startChild(t, cfgArgs...)
+	if err := d.cl.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p := service.TablePayload{Keys: []uint64{1, 2, 3}, Columns: map[string][]float64{"v": {1, 2, 3}}}
+	for _, name := range []string{"a", "b"} {
+		if _, err := d.cl.PutTable(ctx, name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both tables land in the snapshot; the delete lands only in the WAL
+	// tail, after the checkpoint.
+	if _, err := d.cl.Snapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := d.cl.DeleteTable(ctx, "a"); err != nil || !removed {
+		t.Fatalf("delete a: removed=%v err=%v", removed, err)
+	}
+	d.kill9(t)
+
+	d2 := startChild(t, cfgArgs...)
+	if err := d2.cl.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, err := d2.cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tables != 1 {
+		t.Fatalf("after replay: %d tables, want only b", h.Tables)
+	}
+	// a must not have been resurrected from the snapshot...
+	if removed, err := d2.cl.DeleteTable(ctx, "a"); err == nil && removed {
+		t.Fatal("table a survived its logged delete")
+	}
+	// ...and b is intact and queryable.
+	results, err := d2.cl.Search(ctx, service.SearchRequest{Table: &p, Column: "v", RankBy: "join_size"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Table != "b" {
+		t.Fatalf("post-replay ranking = %+v, want just b", results)
+	}
+}

@@ -53,6 +53,7 @@ import (
 
 	ipsketch "repro"
 	"repro/internal/catalog"
+	"repro/internal/cluster"
 	"repro/internal/wal"
 	"repro/service"
 )
@@ -100,6 +101,15 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		slowlogN      = fs.Int("slowlog-n", service.DefaultSlowLogSize, "slow-query log capacity (N slowest searches)")
 		slowThreshold = fs.Duration("slow-threshold", 0, "only record searches at least this slow (0 = keep the N slowest regardless)")
 		accessLog     = fs.Bool("access-log", false, "emit a structured JSON access-log line per request")
+
+		clusterPeers  = fs.String("cluster-peers", "", "comma-separated base URLs of every cluster node, self included (empty = single-node)")
+		clusterSelf   = fs.String("cluster-self", "", "this node's base URL as it appears in -cluster-peers")
+		clusterStrict = fs.Bool("cluster-strict", false, "refuse partial search results: 503 instead of a degraded ranking")
+		probeInterval = fs.Duration("cluster-probe-interval", 0, "peer health probe cadence (0 = default)")
+		probeTimeout  = fs.Duration("cluster-probe-timeout", 0, "per-probe deadline (0 = default)")
+		probeBackoff  = fs.Duration("cluster-probe-backoff-cap", 0, "max probe interval for a down peer (0 = default)")
+		failThreshold = fs.Int("cluster-fail-threshold", 0, "consecutive probe failures before a peer is down (0 = default)")
+		clusterPeerTO = fs.Duration("cluster-search-timeout", 0, "per-node deadline for forwards and scatter-gather sub-queries (0 = default)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -108,6 +118,29 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	method, err := parseMethod(*methodName)
 	if err != nil {
 		return err
+	}
+
+	var clusterCfg *service.ClusterConfig
+	if *clusterPeers != "" {
+		peers, err := cluster.ParsePeerList(*clusterPeers)
+		if err != nil {
+			return fmt.Errorf("parsing -cluster-peers: %w", err)
+		}
+		if *clusterSelf == "" {
+			return errors.New("-cluster-peers requires -cluster-self")
+		}
+		clusterCfg = &service.ClusterConfig{
+			Self:            *clusterSelf,
+			Peers:           peers,
+			Strict:          *clusterStrict,
+			ProbeInterval:   *probeInterval,
+			ProbeTimeout:    *probeTimeout,
+			ProbeBackoffCap: *probeBackoff,
+			FailThreshold:   *failThreshold,
+			PeerTimeout:     *clusterPeerTO,
+		}
+	} else if *clusterSelf != "" {
+		return errors.New("-cluster-self requires -cluster-peers")
 	}
 
 	var walLog *wal.Log
@@ -151,6 +184,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		SlowLogSize:      *slowlogN,
 		SlowLogThreshold: *slowThreshold,
 		AccessLog:        logger,
+		Cluster:          clusterCfg,
 	})
 	if err != nil {
 		return err
@@ -182,8 +216,19 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "sketchd: listening on %s (method=%v storage=%d seed=%d shards=%d)\n",
-		ln.Addr(), method, *storage, *seed, srv.Catalog().Shards())
+	bi := service.BuildInfo()
+	fmt.Fprintf(out, "sketchd: %s (%s) listening on %s (method=%v storage=%d seed=%d shards=%d)\n",
+		bi.Version, bi.GoVersion, ln.Addr(), method, *storage, *seed, srv.Catalog().Shards())
+	if clusterCfg != nil {
+		srv.StartCluster(ctx)
+		defer srv.StopCluster()
+		mode := "partial-on-failure"
+		if clusterCfg.Strict {
+			mode = "strict"
+		}
+		fmt.Fprintf(out, "sketchd: cluster mode, %d nodes, self=%s, %s\n",
+			len(clusterCfg.Peers), srv.ClusterSelf(), mode)
+	}
 
 	// Serve while still replaying: the readiness middleware answers 503
 	// with Retry-After until ReplayWAL flips the server ready, so load

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePeerList throws arbitrary flag strings at the peer-list
+// parser and checks its invariants: accepted lists are non-empty,
+// duplicate-free, within MaxPeers, canonical (reparsing is a fixpoint),
+// and always buildable into a ring that agrees with itself.
+func FuzzParsePeerList(f *testing.F) {
+	f.Add("http://a:1,http://b:2")
+	f.Add(" http://A:1 ,,https://b/")
+	f.Add("http://u:p@h/x?q#f")
+	f.Add(",,,")
+	f.Add("http://[::1]:7207,http://127.0.0.1:7207")
+	f.Add(strings.Repeat("http://a:1,", 40))
+	f.Fuzz(func(t *testing.T, s string) {
+		peers, err := ParsePeerList(s)
+		if err != nil {
+			return
+		}
+		if len(peers) == 0 || len(peers) > MaxPeers {
+			t.Fatalf("accepted list has %d peers", len(peers))
+		}
+		seen := make(map[string]struct{}, len(peers))
+		for _, p := range peers {
+			if _, dup := seen[p]; dup {
+				t.Fatalf("accepted list contains duplicate %q", p)
+			}
+			seen[p] = struct{}{}
+			canon, err := CanonicalPeer(p)
+			if err != nil {
+				t.Fatalf("accepted peer %q fails CanonicalPeer: %v", p, err)
+			}
+			if canon != p {
+				t.Fatalf("accepted peer %q is not canonical (→ %q)", p, canon)
+			}
+		}
+		// Round-trip: the canonical list re-parses to itself.
+		again, err := ParsePeerList(strings.Join(peers, ","))
+		if err != nil {
+			t.Fatalf("canonical list %v fails to re-parse: %v", peers, err)
+		}
+		if len(again) != len(peers) {
+			t.Fatalf("re-parse changed length: %v vs %v", again, peers)
+		}
+		for i := range again {
+			if again[i] != peers[i] {
+				t.Fatalf("re-parse changed entry %d: %v vs %v", i, again, peers)
+			}
+		}
+		// Every accepted membership builds a ring, and placement is a
+		// total function over it.
+		r, err := NewRing(peers)
+		if err != nil {
+			t.Fatalf("accepted peers %v fail NewRing: %v", peers, err)
+		}
+		if owner := r.Owner("fuzz-table"); owner == "" {
+			t.Fatal("Owner returned empty node")
+		}
+	})
+}

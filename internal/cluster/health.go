@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health checker defaults.
+const (
+	DefaultProbeInterval = 1 * time.Second
+	DefaultProbeTimeout  = 2 * time.Second
+	DefaultFailThreshold = 3
+	// DefaultBackoffCap bounds the probe backoff for a down peer: probes
+	// slow down exponentially while a peer stays dead, but never beyond
+	// this, so recovery is noticed within one cap interval.
+	DefaultBackoffCap = 15 * time.Second
+)
+
+// ProbeFunc checks one peer's readiness; a nil return means the peer is
+// accepting traffic. The checker applies its own per-probe timeout to
+// ctx. The service layer injects an HTTP GET /readyz here, keeping this
+// package transport-free and the state machine testable with fakes.
+type ProbeFunc func(ctx context.Context, peer string) error
+
+// HealthObserver receives state-change and latency callbacks; the
+// service layer maps them onto metrics. Implementations must be safe
+// for concurrent use.
+type HealthObserver interface {
+	// PeerUp reports a peer's readiness after every probe (not just
+	// transitions), so a gauge wired to it is always current.
+	PeerUp(peer string, up bool)
+	// ProbeObserved reports one probe's latency and outcome.
+	ProbeObserved(peer string, d time.Duration, err error)
+}
+
+// PeerStatus is a point-in-time snapshot of one probed peer.
+type PeerStatus struct {
+	Peer                string
+	Up                  bool
+	ConsecutiveFailures int
+	Probes, Failures    uint64
+	LastProbe           time.Time
+	LastLatency         time.Duration
+	LastErr             string // most recent probe error ("" after a success)
+}
+
+// CheckerOptions configures a Checker; zero fields take the package
+// defaults.
+type CheckerOptions struct {
+	Probe         ProbeFunc
+	Interval      time.Duration // probe cadence while a peer is up
+	Timeout       time.Duration // per-probe deadline
+	FailThreshold int           // consecutive failures before a peer is down
+	BackoffCap    time.Duration // max probe interval for a down peer
+	Observer      HealthObserver
+}
+
+// Checker actively probes a fixed peer set and maintains a
+// failure-count state machine per peer: a peer starts up (optimism
+// keeps a booting cluster serving before the first probe lands), goes
+// down after FailThreshold consecutive probe failures, is probed with
+// exponentially backed-off cadence while down, and is readmitted by a
+// single successful probe. Safe for concurrent use.
+type Checker struct {
+	opts  CheckerOptions
+	mu    sync.Mutex
+	peers map[string]*peerState
+
+	startOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+type peerState struct {
+	status PeerStatus
+}
+
+// NewChecker builds a checker over the given peers (the caller excludes
+// itself). A nil probe panics at Start, not here, so tests can inspect
+// state machinery without one.
+func NewChecker(peers []string, opts CheckerOptions) *Checker {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultProbeInterval
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultProbeTimeout
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = DefaultFailThreshold
+	}
+	if opts.BackoffCap < opts.Interval {
+		opts.BackoffCap = DefaultBackoffCap
+	}
+	c := &Checker{opts: opts, peers: make(map[string]*peerState, len(peers)), done: make(chan struct{})}
+	for _, p := range peers {
+		c.peers[p] = &peerState{status: PeerStatus{Peer: p, Up: true}}
+	}
+	return c
+}
+
+// Start launches one probe loop per peer; they stop when ctx is
+// canceled or Stop is called. Calling Start more than once is a no-op.
+func (c *Checker) Start(ctx context.Context) {
+	c.startOnce.Do(func() {
+		for peer := range c.peers {
+			c.wg.Add(1)
+			go c.loop(ctx, peer)
+		}
+	})
+}
+
+// Stop halts the probe loops and waits for them to exit.
+func (c *Checker) Stop() {
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+	c.wg.Wait()
+}
+
+// loop probes one peer forever, sleeping Interval while the peer is up
+// and an exponentially growing interval (capped) while it is down.
+func (c *Checker) loop(ctx context.Context, peer string) {
+	defer c.wg.Done()
+	timer := time.NewTimer(0) // first probe immediately
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.done:
+			return
+		case <-timer.C:
+		}
+		c.ProbeOnce(ctx, peer)
+		timer.Reset(c.probeDelay(peer))
+	}
+}
+
+// probeDelay computes the next probe sleep from the peer's state:
+// Interval while up or under the failure threshold, then doubling per
+// consecutive failure beyond it, capped at BackoffCap.
+func (c *Checker) probeDelay(peer string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.peers[peer]
+	if !ok {
+		return c.opts.Interval
+	}
+	over := st.status.ConsecutiveFailures - c.opts.FailThreshold
+	if over < 0 {
+		return c.opts.Interval
+	}
+	d := c.opts.Interval
+	for i := 0; i < over && d < c.opts.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > c.opts.BackoffCap {
+		d = c.opts.BackoffCap
+	}
+	return d
+}
+
+// ProbeOnce runs a single probe of peer and feeds the state machine.
+// The probe loops call it on their cadence; tests and admin endpoints
+// may call it directly to accelerate a readmission check.
+func (c *Checker) ProbeOnce(ctx context.Context, peer string) {
+	pctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	start := time.Now()
+	err := c.opts.Probe(pctx, peer)
+	lat := time.Since(start)
+	cancel()
+
+	c.mu.Lock()
+	st, ok := c.peers[peer]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	st.status.Probes++
+	st.status.LastProbe = start
+	st.status.LastLatency = lat
+	if err != nil {
+		st.status.Failures++
+		st.status.ConsecutiveFailures++
+		st.status.LastErr = err.Error()
+		if st.status.ConsecutiveFailures >= c.opts.FailThreshold {
+			st.status.Up = false
+		}
+	} else {
+		st.status.ConsecutiveFailures = 0
+		st.status.LastErr = ""
+		st.status.Up = true
+	}
+	up := st.status.Up
+	c.mu.Unlock()
+
+	if o := c.opts.Observer; o != nil {
+		o.ProbeObserved(peer, lat, err)
+		o.PeerUp(peer, up)
+	}
+}
+
+// Ready reports whether a peer is currently believed up. Unknown peers
+// (including the caller itself, which is never probed) are ready: the
+// checker only ever vetoes peers it watches.
+func (c *Checker) Ready(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.peers[peer]
+	if !ok {
+		return true
+	}
+	return st.status.Up
+}
+
+// Snapshot returns every probed peer's status, sorted by peer name.
+func (c *Checker) Snapshot() []PeerStatus {
+	c.mu.Lock()
+	out := make([]PeerStatus, 0, len(c.peers))
+	for _, st := range c.peers {
+		out = append(out, st.status)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}

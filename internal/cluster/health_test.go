@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flipProbe is a scripted ProbeFunc: it fails while broken.
+type flipProbe struct {
+	mu     sync.Mutex
+	broken map[string]bool
+}
+
+func (f *flipProbe) set(peer string, broken bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken == nil {
+		f.broken = make(map[string]bool)
+	}
+	f.broken[peer] = broken
+}
+
+func (f *flipProbe) probe(_ context.Context, peer string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken[peer] {
+		return errors.New("scripted failure")
+	}
+	return nil
+}
+
+// TestCheckerStateMachine drives the failure-count state machine with
+// ProbeOnce (no goroutines, no clocks): up → FailThreshold consecutive
+// failures → down → one success → up.
+func TestCheckerStateMachine(t *testing.T) {
+	fp := &flipProbe{}
+	c := NewChecker([]string{"p"}, CheckerOptions{Probe: fp.probe, FailThreshold: 3})
+	ctx := context.Background()
+
+	if !c.Ready("p") {
+		t.Fatal("peer not optimistically up at start")
+	}
+
+	fp.set("p", true)
+	for i := 1; i <= 2; i++ {
+		c.ProbeOnce(ctx, "p")
+		if !c.Ready("p") {
+			t.Fatalf("peer down after %d failures, threshold is 3", i)
+		}
+	}
+	c.ProbeOnce(ctx, "p")
+	if c.Ready("p") {
+		t.Fatal("peer still up after 3 consecutive failures")
+	}
+
+	// One success readmits, regardless of how long it was down.
+	fp.set("p", false)
+	c.ProbeOnce(ctx, "p")
+	if !c.Ready("p") {
+		t.Fatal("peer not readmitted by a successful probe")
+	}
+	st := c.Snapshot()
+	if len(st) != 1 || st[0].ConsecutiveFailures != 0 || st[0].LastErr != "" {
+		t.Fatalf("post-readmission snapshot = %+v", st)
+	}
+	if st[0].Probes != 4 || st[0].Failures != 3 {
+		t.Fatalf("probes/failures = %d/%d, want 4/3", st[0].Probes, st[0].Failures)
+	}
+}
+
+// TestCheckerFlappingResets: a success between failures resets the
+// consecutive count, so a flapping-but-mostly-up peer is never marked
+// down.
+func TestCheckerFlappingResets(t *testing.T) {
+	fp := &flipProbe{}
+	c := NewChecker([]string{"p"}, CheckerOptions{Probe: fp.probe, FailThreshold: 2})
+	ctx := context.Background()
+	for round := 0; round < 5; round++ {
+		fp.set("p", true)
+		c.ProbeOnce(ctx, "p")
+		fp.set("p", false)
+		c.ProbeOnce(ctx, "p")
+		if !c.Ready("p") {
+			t.Fatalf("round %d: flapping peer marked down", round)
+		}
+	}
+}
+
+// TestCheckerProbeBackoff: probe cadence stays at Interval until the
+// peer is down, then doubles per further failure, capped.
+func TestCheckerProbeBackoff(t *testing.T) {
+	fp := &flipProbe{}
+	fp.set("p", true)
+	iv := 100 * time.Millisecond
+	c := NewChecker([]string{"p"}, CheckerOptions{
+		Probe: fp.probe, Interval: iv, FailThreshold: 2, BackoffCap: 800 * time.Millisecond,
+	})
+	ctx := context.Background()
+	want := []time.Duration{iv, iv, 2 * iv, 4 * iv, 8 * iv, 8 * iv, 8 * iv}
+	for i, w := range want {
+		c.ProbeOnce(ctx, "p")
+		if d := c.probeDelay("p"); d != w {
+			t.Fatalf("after failure %d: probeDelay = %v, want %v", i+1, d, w)
+		}
+	}
+	// Recovery resets the cadence.
+	fp.set("p", false)
+	c.ProbeOnce(ctx, "p")
+	if d := c.probeDelay("p"); d != iv {
+		t.Fatalf("probeDelay after recovery = %v, want %v", d, iv)
+	}
+}
+
+// TestCheckerUnknownPeerReady: the checker only vetoes peers it probes.
+func TestCheckerUnknownPeerReady(t *testing.T) {
+	c := NewChecker(nil, CheckerOptions{Probe: func(context.Context, string) error { return nil }})
+	if !c.Ready("http://never-heard-of-it:1") {
+		t.Fatal("unknown peer reported not ready")
+	}
+}
+
+// obsRecorder captures observer callbacks.
+type obsRecorder struct {
+	mu  sync.Mutex
+	ups []bool
+	obs int
+}
+
+func (o *obsRecorder) PeerUp(_ string, up bool) {
+	o.mu.Lock()
+	o.ups = append(o.ups, up)
+	o.mu.Unlock()
+}
+
+func (o *obsRecorder) ProbeObserved(string, time.Duration, error) {
+	o.mu.Lock()
+	o.obs++
+	o.mu.Unlock()
+}
+
+// TestCheckerObserverAndLoop runs the real probe goroutine briefly and
+// checks the observer sees every probe.
+func TestCheckerObserverAndLoop(t *testing.T) {
+	fp := &flipProbe{}
+	rec := &obsRecorder{}
+	c := NewChecker([]string{"p"}, CheckerOptions{
+		Probe: fp.probe, Interval: 5 * time.Millisecond, Observer: rec,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.Start(ctx)
+	c.Start(ctx) // second Start is a no-op, not a double goroutine set
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rec.mu.Lock()
+		n := rec.obs
+		rec.mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("observer saw %d probes after 2s, want ≥3", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.ups) < 3 {
+		t.Fatalf("observer saw %d PeerUp callbacks, want ≥3", len(rec.ups))
+	}
+	for _, up := range rec.ups {
+		if !up {
+			t.Fatal("healthy peer reported down")
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+var goldenPeers = []string{"http://10.0.0.1:7207", "http://10.0.0.2:7207", "http://10.0.0.3:7207"}
+
+// TestRingGoldenPlacement pins the placement function: these owners are
+// part of the cluster's wire contract (every node must compute the same
+// ones from the peer list alone), so any change to the hash, the vnode
+// labeling, the sort, or the bounded-load pass is a breaking change and
+// must fail here.
+func TestRingGoldenPlacement(t *testing.T) {
+	r, err := NewRing(goldenPeers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []struct{ table, owner string }{
+		{"orders", "http://10.0.0.3:7207"},
+		{"users", "http://10.0.0.1:7207"},
+		{"events", "http://10.0.0.1:7207"},
+		{"wdi", "http://10.0.0.1:7207"},
+		{"taxi", "http://10.0.0.1:7207"},
+		{"inventory", "http://10.0.0.3:7207"},
+		{"weather", "http://10.0.0.1:7207"},
+		{"prices", "http://10.0.0.3:7207"},
+		{"logs_2024", "http://10.0.0.3:7207"},
+		{"logs_2025", "http://10.0.0.3:7207"},
+	}
+	for _, g := range golden {
+		if got := r.Owner(g.table); got != g.owner {
+			t.Errorf("Owner(%q) = %s, want %s", g.table, got, g.owner)
+		}
+	}
+}
+
+// TestRingDeterminism: permuting the membership list must not move a
+// single table, and two independently built rings agree everywhere.
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing(goldenPeers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []string{goldenPeers[2], goldenPeers[0], goldenPeers[1]}
+	b, err := NewRing(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("table-%d", i)
+		if ao, bo := a.Owner(name), b.Owner(name); ao != bo {
+			t.Fatalf("Owner(%q) differs across construction orders: %s vs %s", name, ao, bo)
+		}
+	}
+}
+
+// TestRingBoundedLoad: no node owns more virtual points than the
+// capacity the load factor implies, for a spread of cluster sizes and
+// replica counts — the structural half of the balance guarantee.
+func TestRingBoundedLoad(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		for _, reps := range []int{1, 16, 64} {
+			nodes := make([]string, n)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("http://node-%d:7207", i)
+			}
+			r, err := NewRing(nodes, WithReplicas(reps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCap := int(math.Ceil(r.LoadFactor() * float64(n*reps) / float64(n)))
+			if r.Capacity() != wantCap {
+				t.Errorf("n=%d reps=%d: Capacity() = %d, want %d", n, reps, r.Capacity(), wantCap)
+			}
+			total := 0
+			for node, owned := range r.OwnedVnodes() {
+				total += owned
+				if owned > r.Capacity() {
+					t.Errorf("n=%d reps=%d: node %s owns %d vnodes > capacity %d", n, reps, node, owned, r.Capacity())
+				}
+			}
+			if total != n*reps {
+				t.Errorf("n=%d reps=%d: %d vnodes owned in total, want %d", n, reps, total, n*reps)
+			}
+		}
+	}
+}
+
+// TestRingRemovalStability: dropping one node of five must not move a
+// table between the four survivors — consistent hashing's point. Tables
+// owned by the removed node must land somewhere among the survivors.
+func TestRingRemovalStability(t *testing.T) {
+	nodes := make([]string, 5)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://node-%d:7207", i)
+	}
+	full, err := NewRing(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := nodes[2]
+	shrunk, err := NewRing(append(append([]string{}, nodes[:2]...), nodes[3:]...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		name := fmt.Sprintf("table-%d", i)
+		before, after := full.Owner(name), shrunk.Owner(name)
+		if before == removed {
+			continue // must move, anywhere among survivors is fine
+		}
+		if before == after {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	// The bounded-load reassignment may move a small fraction of
+	// surviving tables (capacity changes with n); the disruption must
+	// stay near the 1/n ideal, nowhere near rehash-everything.
+	if frac := float64(moved) / float64(moved+kept); frac > 0.25 {
+		t.Errorf("%.1f%% of surviving tables moved on single-node removal; want ≤25%%", 100*frac)
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("NewRing(nil) succeeded")
+	}
+	if _, err := NewRing([]string{"a", "a"}); err == nil {
+		t.Error("NewRing with duplicate succeeded")
+	}
+	if _, err := NewRing([]string{""}); err == nil {
+		t.Error("NewRing with empty node succeeded")
+	}
+}
+
+func TestParsePeerList(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []string
+		wantErr bool
+	}{
+		{in: "http://a:1,http://b:2", want: []string{"http://a:1", "http://b:2"}},
+		{in: " http://a:1 ,\thttp://b:2 ", want: []string{"http://a:1", "http://b:2"}},
+		{in: "http://a:1,,http://b:2,", want: []string{"http://a:1", "http://b:2"}},
+		{in: "HTTP://A:1", want: []string{"http://a:1"}},
+		{in: "http://a:1/", want: []string{"http://a:1"}},
+		{in: "", wantErr: true},
+		{in: " , ,", wantErr: true},
+		{in: "http://a:1,http://a:1", wantErr: true},
+		{in: "http://a:1,HTTP://a:1/", wantErr: true}, // duplicate after canonicalization
+		{in: "ftp://a:1", wantErr: true},
+		{in: "a:1", wantErr: true},
+		{in: "http://", wantErr: true},
+		{in: "http://u:p@a:1", wantErr: true},
+		{in: "http://a:1/path", wantErr: true},
+		{in: "http://a:1?x=1", wantErr: true},
+		{in: "http://a:1#frag", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParsePeerList(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParsePeerList(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePeerList(%q): %v", c.in, err)
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("ParsePeerList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePeerListTooMany(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i <= MaxPeers; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "http://node-%d:7207", i)
+	}
+	if _, err := ParsePeerList(b.String()); err == nil {
+		t.Error("ParsePeerList accepted more than MaxPeers entries")
+	}
+}

@@ -1,0 +1,101 @@
+// Package httpretry holds the retry discipline shared by the sketchd
+// client and the cluster coordinator: exponential backoff with full
+// jitter honoring Retry-After, and the classification of which failures
+// are worth another attempt. It lives below both packages so the
+// server's peer fan-out can reuse the exact policy the hardened client
+// ships, without a service ↔ client import cycle.
+package httpretry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Policy is a bounded retry budget: at most MaxAttempts requests,
+// exponential backoff from Base capped at Cap, full jitter drawn from a
+// per-policy xorshift stream. Safe for concurrent use.
+type Policy struct {
+	MaxAttempts int
+	Base, Cap   time.Duration
+	jitterSeed  atomic.Uint64
+}
+
+// NewPolicy returns a policy seeded from the system entropy pool (a
+// zero seed degrades to deterministic jitter, never a panic).
+func NewPolicy(maxAttempts int, base, cap time.Duration) *Policy {
+	p := &Policy{MaxAttempts: maxAttempts, Base: base, Cap: cap}
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		p.jitterSeed.Store(binary.LittleEndian.Uint64(seed[:]))
+	}
+	return p
+}
+
+// Backoff returns the sleep before retry n (0-based: the wait between
+// attempt n+1 and attempt n+2), exponential with full jitter, honoring a
+// server-provided Retry-After (seconds) as a floor when present.
+func (p *Policy) Backoff(n int, retryAfter string) time.Duration {
+	d := p.Base << uint(n)
+	if d > p.Cap || d <= 0 {
+		d = p.Cap
+	}
+	// xorshift on a per-policy seed: cheap, lock-free jitter.
+	for {
+		s := p.jitterSeed.Load()
+		x := s
+		if x == 0 {
+			x = 0x9e3779b97f4a7c15
+		}
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if p.jitterSeed.CompareAndSwap(s, x) {
+			d = d/2 + time.Duration(x%uint64(d/2+1))
+			break
+		}
+	}
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			if floor := time.Duration(secs) * time.Second; floor > d && floor <= 10*time.Second {
+				d = floor
+			}
+		}
+	}
+	return d
+}
+
+// Sleep waits out Backoff(n, retryAfter) or returns ctx.Err() early.
+func (p *Policy) Sleep(ctx context.Context, n int, retryAfter string) error {
+	t := time.NewTimer(p.Backoff(n, retryAfter))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RetryableTransport classifies a transport error. Connection failures
+// and timeouts are safe to retry; an explicit context cancellation is
+// not.
+func RetryableTransport(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	// Timeouts — a per-attempt client timeout or a context deadline —
+	// and connection errors (refused, reset, DNS) are all transient from
+	// the caller's point of view.
+	return true
+}
+
+// RetryableStatus classifies an HTTP status: 429 and every 5xx.
+func RetryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code/100 == 5
+}

@@ -1,0 +1,87 @@
+package httpretry
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestBackoffBounds(t *testing.T) {
+	p := NewPolicy(4, 100*time.Millisecond, 2*time.Second)
+	for n := 0; n < 10; n++ {
+		exp := p.Base << uint(n)
+		if exp > p.Cap || exp <= 0 {
+			exp = p.Cap
+		}
+		for i := 0; i < 50; i++ {
+			d := p.Backoff(n, "")
+			if d < exp/2 || d > exp {
+				t.Fatalf("Backoff(%d) = %v outside [%v, %v]", n, d, exp/2, exp)
+			}
+		}
+	}
+}
+
+func TestBackoffRetryAfterFloor(t *testing.T) {
+	p := NewPolicy(4, time.Millisecond, 10*time.Millisecond)
+	if d := p.Backoff(0, "2"); d != 2*time.Second {
+		t.Errorf("Retry-After floor ignored: %v", d)
+	}
+	// A hostile or broken Retry-After must not park the client forever.
+	if d := p.Backoff(0, "86400"); d > 10*time.Millisecond {
+		t.Errorf("oversized Retry-After honored: %v", d)
+	}
+	if d := p.Backoff(0, "not-a-number"); d > 10*time.Millisecond {
+		t.Errorf("junk Retry-After honored: %v", d)
+	}
+	if d := p.Backoff(0, "-3"); d > 10*time.Millisecond {
+		t.Errorf("negative Retry-After honored: %v", d)
+	}
+}
+
+func TestZeroSeedStillJitters(t *testing.T) {
+	p := &Policy{MaxAttempts: 2, Base: time.Second, Cap: time.Second}
+	// Zero seed (no entropy) must not collapse the jitter stream to zero.
+	a, b := p.Backoff(0, ""), p.Backoff(0, "")
+	if a == b {
+		t.Errorf("two zero-seed backoffs identical: %v", a)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	p := NewPolicy(2, time.Hour, time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.Sleep(ctx, 0, "")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Sleep = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep ignored context cancellation")
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	if RetryableTransport(context.Canceled) {
+		t.Error("context.Canceled classified retryable")
+	}
+	if !RetryableTransport(context.DeadlineExceeded) {
+		t.Error("deadline exceeded classified non-retryable")
+	}
+	if !RetryableTransport(errors.New("connection refused")) {
+		t.Error("connection error classified non-retryable")
+	}
+	for _, code := range []int{http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusTooManyRequests} {
+		if !RetryableStatus(code) {
+			t.Errorf("status %d classified non-retryable", code)
+		}
+	}
+	for _, code := range []int{http.StatusOK, http.StatusBadRequest, http.StatusNotFound, http.StatusConflict} {
+		if RetryableStatus(code) {
+			t.Errorf("status %d classified retryable", code)
+		}
+	}
+}

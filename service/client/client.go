@@ -34,10 +34,16 @@ import (
 
 // Defaults for a freshly constructed client; override with options.
 const (
-	DefaultTimeout     = 30 * time.Second
-	DefaultMaxAttempts = 4
-	DefaultBackoffBase = 100 * time.Millisecond
-	DefaultBackoffCap  = 2 * time.Second
+	// DefaultTimeout is the per-call wall-clock budget: attempts plus
+	// backoff sleeps together never exceed it (WithTimeout overrides).
+	DefaultTimeout = 30 * time.Second
+	// DefaultAttemptTimeout bounds one HTTP attempt, so a stalling server
+	// burns at most this much of the call budget before the retry loop
+	// moves on (WithAttemptTimeout overrides).
+	DefaultAttemptTimeout = 10 * time.Second
+	DefaultMaxAttempts    = 4
+	DefaultBackoffBase    = 100 * time.Millisecond
+	DefaultBackoffCap     = 2 * time.Second
 )
 
 // Error is the typed failure of one client call, after retries. Status
@@ -49,6 +55,7 @@ type Error struct {
 	Op        string // "PUT /tables/x"
 	Status    int    // HTTP status; 0 when no response arrived
 	Message   string // server-provided error body, if any
+	Code      string // machine-readable error code, if the server sent one
 	Retryable bool
 	Attempts  int
 	Err       error // underlying transport/decode error, if any
@@ -110,6 +117,17 @@ func IsRetryable(err error) bool {
 	return errors.As(err, &ce) && ce.Retryable
 }
 
+// CodeOf returns the machine-readable error code of a client failure
+// ("" when err is nil, not a client *Error, or the server sent none) —
+// e.g. service.ErrCodeClusterDegraded from a strict-mode cluster.
+func CodeOf(err error) string {
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce.Code
+	}
+	return ""
+}
+
 // Option configures a Client at construction.
 type Option func(*Client)
 
@@ -120,8 +138,18 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
-// WithTimeout sets the per-attempt request timeout (0 disables).
+// WithTimeout sets the per-call wall-clock budget: a hard deadline
+// covering every attempt AND every backoff sleep of one logical call
+// (0 disables). A call never takes longer than this, no matter how the
+// attempts and sleeps interleave.
 func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.callTimeout = d }
+}
+
+// WithAttemptTimeout bounds a single HTTP attempt (0 disables), so a
+// stalling server frees the retry loop to try again — or, with
+// NewMulti, to try the next endpoint — within the call budget.
+func WithAttemptTimeout(d time.Duration) Option {
 	return func(c *Client) { c.hc.Timeout = d }
 }
 
@@ -138,10 +166,14 @@ func WithRetry(maxAttempts int, base time.Duration) Option {
 	}
 }
 
-// Client talks to one sketchd instance. Safe for concurrent use.
+// Client talks to a sketchd instance — or, with NewMulti, to any node
+// of a sketchd cluster, rotating endpoints on retryable failure. Safe
+// for concurrent use.
 type Client struct {
-	base        string
+	bases       []string
+	cur         atomic.Uint32 // index of the endpoint new calls start on
 	hc          *http.Client
+	callTimeout time.Duration
 	maxAttempts int
 	backoffBase time.Duration
 	backoffCap  time.Duration
@@ -150,19 +182,37 @@ type Client struct {
 
 // New returns a client for the daemon at baseURL (e.g.
 // "http://127.0.0.1:7207"). The client gets its own http.Client with
-// DefaultTimeout and retries transient failures up to
-// DefaultMaxAttempts times; override with options.
+// DefaultAttemptTimeout, a DefaultTimeout per-call budget, and retries
+// transient failures up to DefaultMaxAttempts times; override with
+// options.
 func New(baseURL string, opts ...Option) (*Client, error) {
-	u, err := url.Parse(baseURL)
-	if err != nil {
-		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	return NewMulti([]string{baseURL}, opts...)
+}
+
+// NewMulti returns a client over several equivalent endpoints (e.g.
+// every node of a sketchd cluster — any node can answer any request).
+// Calls start on the endpoint that last worked; a retryable failure
+// rotates to the next, so a dead node costs one failed attempt, not a
+// dead client.
+func NewMulti(baseURLs []string, opts ...Option) (*Client, error) {
+	if len(baseURLs) == 0 {
+		return nil, errors.New("client: no base URLs")
 	}
-	if u.Scheme != "http" && u.Scheme != "https" {
-		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	bases := make([]string, len(baseURLs))
+	for i, baseURL := range baseURLs {
+		u, err := url.Parse(baseURL)
+		if err != nil {
+			return nil, fmt.Errorf("client: parsing base URL: %w", err)
+		}
+		if u.Scheme != "http" && u.Scheme != "https" {
+			return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+		}
+		bases[i] = strings.TrimRight(u.String(), "/")
 	}
 	c := &Client{
-		base:        strings.TrimRight(u.String(), "/"),
-		hc:          &http.Client{Timeout: DefaultTimeout},
+		bases:       bases,
+		hc:          &http.Client{Timeout: DefaultAttemptTimeout},
+		callTimeout: DefaultTimeout,
 		maxAttempts: DefaultMaxAttempts,
 		backoffBase: DefaultBackoffBase,
 		backoffCap:  DefaultBackoffCap,
@@ -175,6 +225,18 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		opt(c)
 	}
 	return c, nil
+}
+
+// baseAt maps a rotation counter onto an endpoint.
+func (c *Client) baseAt(i uint32) string {
+	return c.bases[int(i)%len(c.bases)]
+}
+
+// Endpoints returns the configured base URLs.
+func (c *Client) Endpoints() []string {
+	out := make([]string, len(c.bases))
+	copy(out, c.bases)
+	return out
 }
 
 // SetHTTPClient overrides the underlying HTTP client (timeouts, transport).
@@ -251,16 +313,27 @@ func (c *Client) backoff(n int, retryAfter string) time.Duration {
 
 // do issues one request — retrying transient failures when idempotent
 // is true — and decodes the JSON response into out. The body is
-// replayed from the byte slice on each attempt. context deadline
-// expiry surfaces as a typed retryable *Error (the failure class is
-// transient) even though the loop itself stops once ctx is done.
+// replayed from the byte slice on each attempt. The call budget
+// (WithTimeout) is a hard wall-clock deadline over attempts AND
+// backoff sleeps: a slow attempt cannot push the call past it, because
+// the deadline rides the per-attempt request contexts too. context
+// deadline expiry surfaces as a typed retryable *Error (the failure
+// class is transient) even though the loop itself stops once ctx is
+// done. With several endpoints, a retryable failure rotates to the
+// next one and the rotation sticks for future calls.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, headers map[string]string, idempotent bool, out any) error {
+	if c.callTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.callTimeout)
+		defer cancel()
+	}
 	op := method + " " + path
 	attempts := c.maxAttempts
 	if !idempotent {
 		attempts = 1
 	}
 	requestID := newRequestID()
+	base := c.cur.Load()
 	var last *Error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
@@ -270,8 +343,12 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 				last.Attempts = attempt
 				return last
 			}
+			if len(c.bases) > 1 {
+				base++
+				c.cur.Store(base)
+			}
 		}
-		last = c.attemptID(ctx, method, path, contentType, body, headers, requestID, out)
+		last = c.attemptID(ctx, c.baseAt(base), method, path, contentType, body, headers, requestID, out)
 		if last == nil {
 			return nil
 		}
@@ -287,18 +364,18 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 // attempt issues a single request with a fresh request ID (the retrying
 // do loop uses attemptID to keep one ID across a call's attempts).
 func (c *Client) attempt(ctx context.Context, method, path, contentType string, body []byte, headers map[string]string, out any) *Error {
-	return c.attemptID(ctx, method, path, contentType, body, headers, newRequestID(), out)
+	return c.attemptID(ctx, c.baseAt(c.cur.Load()), method, path, contentType, body, headers, newRequestID(), out)
 }
 
-// attemptID issues a single request carrying requestID. A nil return
-// means success with out populated; otherwise the *Error classifies the
-// failure (Op and Attempts are filled in by the caller).
-func (c *Client) attemptID(ctx context.Context, method, path, contentType string, body []byte, headers map[string]string, requestID string, out any) *Error {
+// attemptID issues a single request to base carrying requestID. A nil
+// return means success with out populated; otherwise the *Error
+// classifies the failure (Op and Attempts are filled in by the caller).
+func (c *Client) attemptID(ctx context.Context, base, method, path, contentType string, body []byte, headers map[string]string, requestID string, out any) *Error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return &Error{Err: err, RequestID: requestID}
 	}
@@ -330,6 +407,7 @@ func (c *Client) attemptID(ctx context.Context, method, path, contentType string
 		var body service.ErrorResponse
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body) == nil && body.Error != "" {
 			e.Message = body.Error
+			e.Code = body.Code
 		}
 		return e
 	}
@@ -436,6 +514,15 @@ func (c *Client) Search(ctx context.Context, req service.SearchRequest) ([]ipske
 		results[i] = h.Result()
 	}
 	return results, nil
+}
+
+// SearchFull is Search returning the whole response envelope — against
+// a cluster, NodesTotal/NodesOK/NodesFailed report whether the ranking
+// is partial (a node was down) or covers every node.
+func (c *Client) SearchFull(ctx context.Context, req service.SearchRequest) (service.SearchResponse, error) {
+	var out service.SearchResponse
+	err := c.doJSON(ctx, http.MethodPost, "/search", req, &out, nil, true)
+	return out, err
 }
 
 // SearchSketch is Search with a locally pre-built query sketch, so the

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/service"
+)
+
+// TestCallBudgetIsWallClock: WithTimeout is a hard wall-clock deadline
+// over the whole call. A server that stalls (accepts, never answers)
+// must not stretch the call to attempts×stall — the budget cuts both
+// the in-flight attempt and any remaining backoff.
+func TestCallBudgetIsWallClock(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		select { // stall until the client gives up
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hs.Close()
+
+	budget := 250 * time.Millisecond
+	cl, err := New(hs.URL,
+		WithTimeout(budget),
+		// Per-attempt timeout far beyond the call budget and a retry
+		// budget that would, without the wall clock, allow 4 stalled
+		// attempts: only the call budget can save us.
+		WithAttemptTimeout(10*time.Second),
+		WithRetry(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = cl.Health(context.Background())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call against a stalling server succeeded")
+	}
+	if elapsed > 3*budget {
+		t.Fatalf("call took %v against a %v budget", elapsed, budget)
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("budget expiry not typed retryable: %v", err)
+	}
+}
+
+// TestAttemptTimeoutFreesRetry: a stalled attempt is abandoned at the
+// attempt timeout and the retry goes on to succeed, all inside the call
+// budget.
+func TestAttemptTimeoutFreesRetry(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-r.Context().Done() // first attempt stalls
+			return
+		}
+		json.NewEncoder(w).Encode(service.HealthResponse{Status: "ok", Tables: 3})
+	}))
+	defer hs.Close()
+	cl, err := New(hs.URL,
+		WithTimeout(5*time.Second),
+		WithAttemptTimeout(50*time.Millisecond),
+		WithRetry(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tables != 3 || calls.Load() != 2 {
+		t.Fatalf("health %+v after %d calls", h, calls.Load())
+	}
+}
+
+// TestMultiEndpointFailover: with several endpoints, a dead one costs a
+// failed attempt, after which the client rotates and sticks to the
+// survivor.
+func TestMultiEndpointFailover(t *testing.T) {
+	var liveCalls atomic.Int64
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		liveCalls.Add(1)
+		json.NewEncoder(w).Encode(service.HealthResponse{Status: "ok", Tables: 9})
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // bound then released: connection refused
+
+	cl, err := NewMulti([]string{dead.URL, live.URL},
+		WithRetry(3, time.Millisecond), WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatalf("failover call: %v", err)
+	}
+	if h.Tables != 9 {
+		t.Fatalf("health %+v", h)
+	}
+	// The rotation sticks: the next call starts on the live endpoint.
+	if _, err := cl.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := liveCalls.Load(); got != 2 {
+		t.Fatalf("live endpoint saw %d calls, want 2", got)
+	}
+}
+
+func TestNewMultiValidates(t *testing.T) {
+	if _, err := NewMulti(nil); err == nil {
+		t.Error("NewMulti(nil) succeeded")
+	}
+	if _, err := NewMulti([]string{"ftp://x"}); err == nil {
+		t.Error("NewMulti with bad scheme succeeded")
+	}
+	cl, err := NewMulti([]string{"http://a:1/", "http://b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := cl.Endpoints()
+	if len(eps) != 2 || eps[0] != "http://a:1" || eps[1] != "http://b:2" {
+		t.Fatalf("Endpoints() = %v", eps)
+	}
+}

@@ -60,6 +60,10 @@ type Config struct {
 	// AccessLog, when set, receives one structured line per request
 	// (method, path, status, duration, bytes, request ID).
 	AccessLog *slog.Logger
+	// Cluster, when set, turns the server into a cluster node: table
+	// mutations are forwarded to their ring owner and /search fans out
+	// across every ready peer (see cluster.go and DESIGN.md §14).
+	Cluster *ClusterConfig
 }
 
 // Server serves a sketch catalog over HTTP. Create with New, mount
@@ -103,6 +107,9 @@ type Server struct {
 
 	// Scan counters summed over every /search (see ScanSearchStats).
 	scanCandidates, scanPruned, scanColumnar, scanFallback atomic.Int64
+
+	// cluster is non-nil in cluster mode (see cluster.go).
+	cluster *clusterState
 }
 
 // New validates the configuration and returns a server with an empty
@@ -164,6 +171,11 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		if err := s.cat.Pin(ref); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Cluster != nil {
+		if err := s.initCluster(*cfg.Cluster); err != nil {
 			return nil, err
 		}
 	}
@@ -467,6 +479,16 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
 }
 
+// writeErrorCode writes a JSON error response carrying a
+// machine-readable code clients can branch on (cluster degradation vs.
+// an ordinary overload 503, say).
+func (s *Server) writeErrorCode(w http.ResponseWriter, code int, errCode string, err error) {
+	s.errs.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Code: errCode})
+}
+
 // buildTable materializes a TablePayload.
 func buildTable(name string, p *TablePayload) (*ipsketch.Table, error) {
 	if p == nil {
@@ -563,16 +585,19 @@ func (s *Server) ingestSketch(w http.ResponseWriter, r *http.Request, name strin
 }
 
 func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
-	if err := s.acquire(r.Context(), s.ingestSem); err != nil {
-		s.writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
-	defer func() { <-s.ingestSem }()
 	name := r.PathValue("name")
 	if name == "" {
 		s.writeError(w, http.StatusBadRequest, errors.New("service: empty table name"))
 		return
 	}
+	if s.forwardMutation(w, r, name) {
+		return
+	}
+	if err := s.acquire(r.Context(), s.ingestSem); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer func() { <-s.ingestSem }()
 	tsk, err := s.ingestSketch(w, r, name)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -605,16 +630,19 @@ func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
 // repeated key from a bounded LRU of completed responses instead of
 // merging again. Logged keys survive restarts via WAL replay.
 func (s *Server) handleMergeTable(w http.ResponseWriter, r *http.Request) {
-	if err := s.acquire(r.Context(), s.ingestSem); err != nil {
-		s.writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
-	defer func() { <-s.ingestSem }()
 	name := r.PathValue("name")
 	if name == "" {
 		s.writeError(w, http.StatusBadRequest, errors.New("service: empty table name"))
 		return
 	}
+	if s.forwardMutation(w, r, name) {
+		return
+	}
+	if err := s.acquire(r.Context(), s.ingestSem); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer func() { <-s.ingestSem }()
 	id := r.Header.Get(HeaderIdempotencyKey)
 	if id != "" {
 		resp, seen, err := s.dedupe.begin(r.Context(), id)
@@ -670,12 +698,15 @@ func (s *Server) mergeResponse(name string, merged bool, contributed *ipsketch.T
 }
 
 func (s *Server) handleDeleteTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name != "" && s.forwardMutation(w, r, name) {
+		return
+	}
 	if err := s.acquire(r.Context(), s.ingestSem); err != nil {
 		s.writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	defer func() { <-s.ingestSem }()
-	name := r.PathValue("name")
 	s.snapMu.RLock()
 	removed, err := s.cat.Delete(name)
 	s.snapMu.RUnlock()
@@ -699,7 +730,18 @@ func (s *Server) querySketch(req *SearchRequest) (*ipsketch.TableSketch, error) 
 		if err != nil {
 			return nil, fmt.Errorf("service: decoding sketch_b64: %w", err)
 		}
-		return ipsketch.UnmarshalTableSketch(blob)
+		tsk, err := ipsketch.UnmarshalTableSketch(blob)
+		if err != nil {
+			return nil, err
+		}
+		if req.LocalOnly {
+			// Coordinator sub-query: table_name is authoritative, even when
+			// empty — an unnamed inline query ships under a placeholder name
+			// (the serialization refuses unnamed bundles) that must not leak
+			// into self-exclusion.
+			tsk.Name = req.TableName
+		}
+		return tsk, nil
 	}
 	// The query's name only matters for self-exclusion: SearchTopK skips
 	// a cataloged table with the same name. The default (empty) name can
@@ -737,6 +779,29 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	k := -1
 	if req.K != nil {
 		k = *req.K
+	}
+	if s.cluster != nil && !req.LocalOnly {
+		resp, scan, serr, status := s.scatterSearch(r.Context(), qSk, &req, by, k)
+		if serr != nil {
+			if status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+				s.writeErrorCode(w, status, ErrCodeClusterDegraded, serr)
+			} else {
+				s.writeError(w, status, serr)
+			}
+			return
+		}
+		s.searches.Add(1)
+		s.scanCandidates.Add(scan.Candidates)
+		s.scanPruned.Add(scan.Pruned)
+		s.scanColumnar.Add(scan.Columnar)
+		s.scanFallback.Add(scan.Fallback)
+		s.observeSearch(r.Context(), start, &req, k, len(resp.Results), scan)
+		if resp.NodesFailed > 0 {
+			w.Header().Set(HeaderPartialResults, "true")
+		}
+		s.writeJSON(w, resp)
+		return
 	}
 	results, scan, err := s.cat.SearchTopKStats(qSk, req.Column, by, req.MinJoin, k)
 	if err != nil {
@@ -804,7 +869,8 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, HealthResponse{Status: "ok", Tables: s.cat.Len()})
+	bi := BuildInfo()
+	s.writeJSON(w, HealthResponse{Status: "ok", Tables: s.cat.Len(), Build: &bi})
 }
 
 // handleReadyz is the traffic-readiness probe, distinct from /healthz
@@ -877,6 +943,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Segments:   w.Segments(),
 			Replayed:   s.replayed.Load(),
 		}
+	}
+	bi := BuildInfo()
+	resp.Build = &bi
+	if s.cluster != nil {
+		resp.Cluster = s.cluster.stats()
 	}
 	s.writeJSON(w, resp)
 }
