@@ -78,6 +78,16 @@ type similarityEstimator interface {
 	estimateJaccard(a, b payload) (float64, error)
 }
 
+// signatureSketcher is implemented by backends whose samples double as an
+// LSH signature: entries of two signatures built under the same Config
+// collide with probability equal to the (weighted) Jaccard similarity of
+// the sketched vectors, making them bandable by internal/lsh. An empty
+// sketch yields a nil signature — empty columns are unbandable, not
+// wildcard matches.
+type signatureSketcher interface {
+	signature(p payload) ([]uint64, error)
+}
+
 // cardinalityEstimator is implemented by backends whose hashes double as
 // distinct-count estimators for supports and support unions.
 type cardinalityEstimator interface {

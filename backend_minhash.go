@@ -125,6 +125,17 @@ func (mhBackend) estimateUnionSize(a, b payload) (float64, error) {
 	return minhash.UnionEstimate(pa, pb)
 }
 
+// signature implements signatureSketcher: the per-sample minima, whose
+// entries collide across sketches with probability equal to the support
+// Jaccard similarity. Empty sketches yield nil.
+func (mhBackend) signature(p payload) ([]uint64, error) {
+	sk, err := payloadAs[*minhash.Sketch](p)
+	if err != nil {
+		return nil, err
+	}
+	return sk.Signature(), nil
+}
+
 // newColumnarPack implements columnarScorer: three minhash.Cols (key,
 // value, and squared-value sketches) sharing one reference sketch for
 // compatibility checks.

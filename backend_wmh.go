@@ -138,6 +138,17 @@ func (wmhBackend) estimateJaccard(a, b payload) (float64, error) {
 	return wmh.WeightedJaccardEstimate(pa, pb)
 }
 
+// signature implements signatureSketcher: the per-sample minima (float
+// bits), whose entries collide across sketches with probability equal to
+// the weighted Jaccard similarity. Empty sketches yield nil.
+func (wmhBackend) signature(p payload) ([]uint64, error) {
+	sk, err := payloadAs[*wmh.Sketch](p)
+	if err != nil {
+		return nil, err
+	}
+	return sk.Signature(), nil
+}
+
 // newColumnarPack implements columnarScorer: three wmh.Cols (key, value,
 // and squared-value sketches) sharing one reference sketch for
 // compatibility checks (params, resolved L, and construction variant all

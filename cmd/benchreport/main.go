@@ -3,7 +3,7 @@
 // perf trajectory: each PR that touches a hot path records before/after
 // numbers in a new report, so regressions are a diff away.
 //
-//	go run ./cmd/benchreport -o BENCH_8.json
+//	go run ./cmd/benchreport -o BENCH_9.json
 //	go run ./cmd/benchreport -bench 'BenchmarkSearch' -benchtime 2s -count 3
 //
 // The default benchmark set covers the sketching engine's hot paths:
@@ -71,7 +71,7 @@ type Benchmark struct {
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_8.json", "output file ('-' for stdout)")
+		out       = flag.String("o", "BENCH_9.json", "output file ('-' for stdout)")
 		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value; the best run per benchmark is kept")

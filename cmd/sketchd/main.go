@@ -101,6 +101,9 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		slowlogN      = fs.Int("slowlog-n", service.DefaultSlowLogSize, "slow-query log capacity (N slowest searches)")
 		slowThreshold = fs.Duration("slow-threshold", 0, "only record searches at least this slow (0 = keep the N slowest regardless)")
 		accessLog     = fs.Bool("access-log", false, "emit a structured JSON access-log line per request")
+		lshBands      = fs.Int("lsh-bands", 0, "LSH bands for mode=lsh search (0 = disabled; requires -lsh-rows)")
+		lshRows       = fs.Int("lsh-rows", 0, "signature rows per LSH band (0 = disabled; requires -lsh-bands)")
+		lshProbes     = fs.Int("lsh-probes", 0, "default bands probed per mode=lsh search (0 = all bands)")
 
 		clusterPeers  = fs.String("cluster-peers", "", "comma-separated base URLs of every cluster node, self included (empty = single-node)")
 		clusterSelf   = fs.String("cluster-self", "", "this node's base URL as it appears in -cluster-peers")
@@ -185,6 +188,9 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		SlowLogThreshold: *slowThreshold,
 		AccessLog:        logger,
 		Cluster:          clusterCfg,
+		LSHBands:         *lshBands,
+		LSHRows:          *lshRows,
+		LSHProbes:        *lshProbes,
 	})
 	if err != nil {
 		return err

@@ -154,6 +154,13 @@ type ScanStats struct {
 	Columnar int64
 	Fallback int64
 
+	// LSHProbes and LSHCandidates describe the banded candidate stage of
+	// an lsh-mode search: how many bands were probed and how many
+	// candidate entries the probes gathered before exact rescoring. Zero
+	// on full scans.
+	LSHProbes     int64
+	LSHCandidates int64
+
 	// Stage timings, in nanoseconds. ColumnarNanos and FallbackNanos are
 	// CPU-additive (summed across the scan's parallel workers, so they
 	// can exceed ScanNanos on multi-core scans) and accumulate through
@@ -177,6 +184,8 @@ func (s *ScanStats) Add(o ScanStats) {
 	s.Pruned += o.Pruned
 	s.Columnar += o.Columnar
 	s.Fallback += o.Fallback
+	s.LSHProbes += o.LSHProbes
+	s.LSHCandidates += o.LSHCandidates
 	s.ColumnarNanos += o.ColumnarNanos
 	s.FallbackNanos += o.FallbackNanos
 }

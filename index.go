@@ -42,6 +42,10 @@ type SketchIndex struct {
 	// BuildColumnar; nil means every search takes the decoded path.
 	// Mutation invalidates it — the catalog rebuilds at publish time.
 	view *columnarView
+	// lshView is the banded candidate index built by BuildLSH; nil means
+	// lsh-mode searches fail with ErrNoLSHIndex. Mutation invalidates it —
+	// the catalog rebuilds at publish time alongside view.
+	lshView *lshView
 }
 
 // NewSketchIndex returns an empty index with lazy compatibility checking.
@@ -73,7 +77,9 @@ func (ix *SketchIndex) Add(ts *TableSketch) error {
 			return fmt.Errorf("ipsketch: adding %q to strict index: %w", ts.Name, err)
 		}
 	}
-	ix.view = nil // the pack indexes entry positions; any mutation stales it
+	// Both views index entry positions; any mutation stales them.
+	ix.view = nil
+	ix.lshView = nil
 	if pos, ok := ix.byName[ts.Name]; ok {
 		ix.entries[pos] = ts
 		return nil
@@ -92,7 +98,9 @@ func (ix *SketchIndex) Remove(name string) bool {
 	if !ok {
 		return false
 	}
-	ix.view = nil // the pack indexes entry positions; any mutation stales it
+	// Both views index entry positions; any mutation stales them.
+	ix.view = nil
+	ix.lshView = nil
 	copy(ix.entries[pos:], ix.entries[pos+1:])
 	ix.entries = ix.entries[:len(ix.entries)-1]
 	delete(ix.byName, name)
@@ -112,9 +120,10 @@ func (ix *SketchIndex) Clone() *SketchIndex {
 		byName:  make(map[string]int, len(ix.byName)),
 		strict:  ix.strict,
 		pin:     ix.pin,
-		// The immutable view matches the copied entry list exactly; a
-		// later mutation of either copy clears only that copy's view.
-		view: ix.view,
+		// The immutable views match the copied entry list exactly; a
+		// later mutation of either copy clears only that copy's views.
+		view:    ix.view,
+		lshView: ix.lshView,
 	}
 	for name, pos := range ix.byName {
 		out.byName[name] = pos

@@ -94,6 +94,11 @@ type Options struct {
 	// rebuild + columnar pack + pointer swap) — the write-side latency a
 	// reader never sees but every ingest pays.
 	PublishObserver Observer
+	// LSH, when set, maintains a banded candidate index alongside every
+	// published shard index (rebuilt at publish time exactly like the
+	// columnar views, so readers never observe a stale candidate set) and
+	// enables SearchTopKLSH. Invalid parameters fail the first mutation.
+	LSH *ipsketch.LSHParams
 }
 
 // shard is one stripe. tables and ix are immutable once published:
@@ -127,6 +132,7 @@ type Catalog struct {
 	strict     bool
 	onMutate   func(Mutation) error
 	publishObs Observer
+	lsh        *ipsketch.LSHParams
 
 	// pin is the first table ever put to a strict catalog; it survives
 	// removal so an emptied catalog keeps rejecting the same mismatches.
@@ -140,10 +146,16 @@ func New(opts Options) *Catalog {
 	if n <= 0 {
 		n = DefaultShards
 	}
-	c := &Catalog{shards: make([]shard, n), strict: opts.Strict, onMutate: opts.OnMutate, publishObs: opts.PublishObserver}
+	c := &Catalog{shards: make([]shard, n), strict: opts.Strict, onMutate: opts.OnMutate, publishObs: opts.PublishObserver, lsh: opts.LSH}
 	for i := range c.shards {
 		c.shards[i].tables = map[string]*ipsketch.TableSketch{}
 		c.shards[i].ix = ipsketch.NewSketchIndex()
+		if c.lsh != nil {
+			// Empty shards must answer lsh-mode searches too. Invalid
+			// banding parameters are reported by the first mutation
+			// instead (New has no error return).
+			_, _ = c.shards[i].ix.BuildLSH(*c.lsh)
+		}
 	}
 	return c
 }
@@ -238,7 +250,7 @@ func (c *Catalog) Put(ts *ipsketch.TableSketch) error {
 		return err
 	}
 	defer c.observePublish(time.Now())
-	return sh.replaceLocked(ts)
+	return sh.replaceLocked(ts, c.lsh)
 }
 
 // observePublish reports a publish latency (call with the publish start
@@ -297,7 +309,7 @@ func (c *Catalog) MergeTagged(ts *ipsketch.TableSketch, tag string) (bool, error
 		return false, err
 	}
 	defer c.observePublish(time.Now())
-	if err := sh.replaceLocked(result); err != nil {
+	if err := sh.replaceLocked(result, c.lsh); err != nil {
 		return false, err
 	}
 	return existed, nil
@@ -305,14 +317,14 @@ func (c *Catalog) MergeTagged(ts *ipsketch.TableSketch, tag string) (bool, error
 
 // replaceLocked publishes a shard state with ts registered under its
 // name; the caller holds the shard's write mutex.
-func (sh *shard) replaceLocked(ts *ipsketch.TableSketch) error {
+func (sh *shard) replaceLocked(ts *ipsketch.TableSketch, lshp *ipsketch.LSHParams) error {
 	old, _ := sh.view()
 	next := make(map[string]*ipsketch.TableSketch, len(old)+1)
 	for name, sk := range old {
 		next[name] = sk
 	}
 	next[ts.Name] = ts
-	ix, err := sortedIndex(next)
+	ix, err := sortedIndex(next, lshp)
 	if err != nil {
 		return err
 	}
@@ -348,7 +360,7 @@ func (c *Catalog) Delete(name string) (bool, error) {
 			next[n] = sk
 		}
 	}
-	ix, err := sortedIndex(next)
+	ix, err := sortedIndex(next, c.lsh)
 	if err != nil {
 		// Unreachable: every sketch in the shard was accepted by Add once.
 		panic(fmt.Sprintf("catalog: rebuilding shard after remove: %v", err))
@@ -362,8 +374,9 @@ func (c *Catalog) Delete(name string) (bool, error) {
 // canonical (table, column) order. The columnar scan view is packed here,
 // at copy-on-write publish time, so every reader of the published index
 // scans structure-of-arrays for free and no search ever pays the pack
-// cost.
-func sortedIndex(m map[string]*ipsketch.TableSketch) (*ipsketch.SketchIndex, error) {
+// cost. When lshp is set the banded candidate index is built the same
+// way — a build failure (invalid banding parameters) fails the publish.
+func sortedIndex(m map[string]*ipsketch.TableSketch, lshp *ipsketch.LSHParams) (*ipsketch.SketchIndex, error) {
 	names := make([]string, 0, len(m))
 	for name := range m {
 		names = append(names, name)
@@ -376,6 +389,11 @@ func sortedIndex(m map[string]*ipsketch.TableSketch) (*ipsketch.SketchIndex, err
 		}
 	}
 	ix.BuildColumnar()
+	if lshp != nil {
+		if _, err := ix.BuildLSH(*lshp); err != nil {
+			return nil, err
+		}
+	}
 	return ix, nil
 }
 
@@ -431,7 +449,7 @@ func (c *Catalog) Snapshot() *ipsketch.SketchIndex {
 			merged[name] = sk
 		}
 	}
-	ix, err := sortedIndex(merged)
+	ix, err := sortedIndex(merged, c.lsh)
 	if err != nil {
 		panic(fmt.Sprintf("catalog: building snapshot index: %v", err))
 	}
@@ -483,6 +501,92 @@ func (c *Catalog) SearchTopKStats(query *ipsketch.TableSketch, queryCol string, 
 	}
 	// Add skips the wall-clock stages; the catalog's fan-out wall time is
 	// the scan stage as this coordinator saw it.
+	stats.ScanNanos = time.Since(scanStart).Nanoseconds()
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	mergeStart := time.Now()
+	total := 0
+	for _, rs := range results {
+		total += len(rs)
+	}
+	merged := make([]ipsketch.SearchResult, 0, total)
+	for _, rs := range results {
+		merged = append(merged, rs...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		return a.Column < b.Column
+	})
+	if k >= 0 && len(merged) > k {
+		merged = merged[:k]
+	}
+	stats.MergeNanos = time.Since(mergeStart).Nanoseconds()
+	if len(merged) == 0 {
+		return nil, stats, nil
+	}
+	return merged, stats, nil
+}
+
+// LSH returns the banding parameters the catalog maintains its candidate
+// indexes with, and whether LSH search is enabled.
+func (c *Catalog) LSH() (ipsketch.LSHParams, bool) {
+	if c.lsh == nil {
+		return ipsketch.LSHParams{}, false
+	}
+	return *c.lsh, true
+}
+
+// SearchTopKLSH is SearchTopK routed through the per-shard banded
+// candidate indexes: each shard gathers band candidates for the query
+// and exact-rescores only those, so rankings are bit-exact with
+// SearchTopK whenever every shard's candidate set contains its true top
+// k. probes ≤ 0 probes every band. Fails with ipsketch.ErrNoLSHIndex
+// when the catalog was built without Options.LSH.
+func (c *Catalog) SearchTopKLSH(query *ipsketch.TableSketch, queryCol string, by ipsketch.RankBy, minJoinSize float64, k, probes int) ([]ipsketch.SearchResult, error) {
+	res, _, err := c.SearchTopKLSHStats(query, queryCol, by, minJoinSize, k, probes)
+	return res, err
+}
+
+// SearchTopKLSHStats is SearchTopKLSH that also returns the scan
+// counters summed over every shard's scan, including the banded stage's
+// probe and candidate counts.
+func (c *Catalog) SearchTopKLSHStats(query *ipsketch.TableSketch, queryCol string, by ipsketch.RankBy, minJoinSize float64, k, probes int) ([]ipsketch.SearchResult, ipsketch.ScanStats, error) {
+	var stats ipsketch.ScanStats
+	if c.lsh == nil {
+		return nil, stats, ipsketch.ErrNoLSHIndex
+	}
+	// Take all shard snapshots first so one search observes one state.
+	snapStart := time.Now()
+	ixs := make([]*ipsketch.SketchIndex, len(c.shards))
+	for i := range c.shards {
+		_, ixs[i] = c.shards[i].view()
+	}
+	stats.SnapshotNanos = time.Since(snapStart).Nanoseconds()
+	scanStart := time.Now()
+	results := make([][]ipsketch.SearchResult, len(ixs))
+	shardStats := make([]ipsketch.ScanStats, len(ixs))
+	errs := make([]error, len(ixs))
+	var wg sync.WaitGroup
+	for i, ix := range ixs {
+		wg.Add(1)
+		go func(i int, ix *ipsketch.SketchIndex) {
+			defer wg.Done()
+			results[i], shardStats[i], errs[i] = ix.SearchTopKLSHStats(query, queryCol, by, minJoinSize, k, probes)
+		}(i, ix)
+	}
+	wg.Wait()
+	for i := range shardStats {
+		stats.Add(shardStats[i])
+	}
 	stats.ScanNanos = time.Since(scanStart).Nanoseconds()
 	for _, err := range errs {
 		if err != nil {

@@ -13,6 +13,11 @@
 // sharply separating pairs above the threshold J* ≈ (1/bands)^(1/rows)
 // from pairs below it. Signatures come from minhash.Sketch.Signature or
 // wmh.Sketch.Signature (unweighted vs weighted Jaccard).
+//
+// Queries support multi-probe budgets: probing only the first p ≤ bands
+// bands costs proportionally fewer bucket lookups and retrieves with
+// probability 1 − (1 − J^rows)^p — the recall-vs-probe-count knob the
+// serving layer exposes per query.
 package lsh
 
 import (
@@ -48,8 +53,26 @@ func (p Params) Threshold() float64 {
 	return math.Pow(1/float64(p.Bands), 1/float64(p.Rows))
 }
 
+// RetrievalProbability returns the S-curve value 1 − (1 − J^rows)^probes
+// for a pair of Jaccard similarity j when the first probes bands are
+// probed (probes ≤ 0 or > Bands means every band).
+func (p Params) RetrievalProbability(j float64, probes int) float64 {
+	probes = p.ClampProbes(probes)
+	return 1 - math.Pow(1-math.Pow(j, float64(p.Rows)), float64(probes))
+}
+
+// ClampProbes resolves a probe budget: values ≤ 0 or > Bands mean every
+// band.
+func (p Params) ClampProbes(probes int) int {
+	if probes <= 0 || probes > p.Bands {
+		return p.Bands
+	}
+	return probes
+}
+
 // Index is a banded LSH index over int-identified items. It is not safe
-// for concurrent mutation.
+// for concurrent mutation, but is safe for concurrent reads (Candidates,
+// Querier queries) once construction is done.
 type Index struct {
 	params  Params
 	buckets []map[uint64][]int // one bucket map per band: band hash → ids
@@ -78,13 +101,16 @@ func (ix *Index) Params() Params { return ix.params }
 // Len returns the number of indexed items.
 func (ix *Index) Len() int { return len(ix.items) }
 
-// bandKey hashes one band of the signature to a bucket key.
+// bandKey hashes one band of the signature to a bucket key. It is an
+// incremental Mix chain — Mix(band, sig[lo:hi]...) without materializing
+// the parts slice — so the query path performs zero allocations per band.
 func (ix *Index) bandKey(band int, sig []uint64) uint64 {
 	lo := band * ix.params.Rows
-	parts := make([]uint64, 0, ix.params.Rows+1)
-	parts = append(parts, uint64(band))
-	parts = append(parts, sig[lo:lo+ix.params.Rows]...)
-	return hashing.Mix(parts...)
+	h := hashing.Mix(uint64(band))
+	for _, v := range sig[lo : lo+ix.params.Rows] {
+		h = hashing.Extend(h, v)
+	}
+	return h
 }
 
 // Insert adds an item. Re-inserting an existing id is rejected (delete is
@@ -106,21 +132,58 @@ func (ix *Index) Insert(id int, signature []uint64) error {
 }
 
 // Candidates returns the ids sharing at least one band with the query
-// signature, deduplicated, in unspecified order.
+// signature, deduplicated, in unspecified order. It allocates its result;
+// hot query paths reuse a Querier instead.
 func (ix *Index) Candidates(signature []uint64) ([]int, error) {
+	cands, err := ix.NewQuerier().Candidates(signature, 0)
+	if err != nil {
+		return nil, err
+	}
+	if cands == nil {
+		return nil, nil
+	}
+	return append([]int(nil), cands...), nil
+}
+
+// Querier owns the scratch of a candidate lookup — the dedup set and the
+// output slice — so repeated queries against an index allocate nothing in
+// the steady state. A Querier is single-goroutine; concurrent searchers
+// each hold their own.
+type Querier struct {
+	ix *Index
+	// seen stamps each id with the generation of the query that last
+	// produced it; comparing stamps replaces per-query map clearing.
+	seen map[int]uint64
+	gen  uint64
+	out  []int
+}
+
+// NewQuerier returns a reusable candidate-lookup scratch bound to the
+// index.
+func (ix *Index) NewQuerier() *Querier {
+	return &Querier{ix: ix, seen: make(map[int]uint64)}
+}
+
+// Candidates returns the ids sharing at least one of the first probes
+// bands with the query signature (probes ≤ 0 or > Bands probes every
+// band), deduplicated, in unspecified order. The returned slice is owned
+// by the Querier and valid until its next query.
+func (q *Querier) Candidates(signature []uint64, probes int) ([]int, error) {
+	ix := q.ix
 	if len(signature) != ix.params.SignatureLen() {
 		return nil, fmt.Errorf("lsh: signature length %d, want %d", len(signature), ix.params.SignatureLen())
 	}
-	seen := map[int]struct{}{}
-	var out []int
-	for b := 0; b < ix.params.Bands; b++ {
+	probes = ix.params.ClampProbes(probes)
+	q.gen++
+	q.out = q.out[:0]
+	for b := 0; b < probes; b++ {
 		for _, id := range ix.buckets[b][ix.bandKey(b, signature)] {
-			if _, dup := seen[id]; dup {
+			if q.seen[id] == q.gen {
 				continue
 			}
-			seen[id] = struct{}{}
-			out = append(out, id)
+			q.seen[id] = q.gen
+			q.out = append(q.out, id)
 		}
 	}
-	return out, nil
+	return q.out, nil
 }

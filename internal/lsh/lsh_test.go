@@ -196,3 +196,176 @@ func TestEmptyWMHSignatureNil(t *testing.T) {
 		t.Fatal("empty sketch should have nil signature")
 	}
 }
+
+// TestEmptyMHSignatureNil mirrors TestEmptyWMHSignatureNil for the
+// unweighted family: an all-zero column must not emit a sentinel
+// signature that lands every empty column in one shared bucket.
+func TestEmptyMHSignatureNil(t *testing.T) {
+	empty := vector.MustNew(100, nil, nil)
+	s, err := minhash.New(empty, minhash.Params{M: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsEmpty() {
+		t.Fatal("sketch of the zero vector should be empty")
+	}
+	if s.Signature() != nil {
+		t.Fatal("empty sketch should have nil signature")
+	}
+}
+
+// TestBandKeyMatchesMix pins the incremental band hash to the reference
+// hashing.Mix chain bitwise, so the zero-alloc rewrite can never change
+// bucket layout (and persisted expectations about co-bucketing hold).
+func TestBandKeyMatchesMix(t *testing.T) {
+	p := Params{Bands: 5, Rows: 3}
+	ix, _ := New(p)
+	rng := hashing.NewSplitMix64(42)
+	sig := make([]uint64, p.SignatureLen())
+	for i := range sig {
+		sig[i] = rng.Uint64()
+	}
+	for b := 0; b < p.Bands; b++ {
+		lo := b * p.Rows
+		parts := append([]uint64{uint64(b)}, sig[lo:lo+p.Rows]...)
+		if got, want := ix.bandKey(b, sig), hashing.Mix(parts...); got != want {
+			t.Fatalf("band %d: bandKey = %#x, Mix = %#x", b, got, want)
+		}
+	}
+}
+
+// TestQuerierZeroAlloc pins the query path allocation-free: band hashing
+// and candidate gathering through a reused Querier must not allocate in
+// the steady state.
+func TestQuerierZeroAlloc(t *testing.T) {
+	p := Params{Bands: 16, Rows: 4}
+	ix, _ := New(p)
+	rng := hashing.NewSplitMix64(7)
+	sig := make([]uint64, p.SignatureLen())
+	for id := 0; id < 64; id++ {
+		for i := range sig {
+			sig[i] = rng.Uint64n(8) // few distinct values: populated buckets
+		}
+		if err := ix.Insert(id, sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := ix.NewQuerier()
+	query := make([]uint64, p.SignatureLen())
+	for i := range query {
+		query[i] = rng.Uint64n(8)
+	}
+	// Warm the scratch (first call may grow seen/out).
+	if _, err := q.Candidates(query, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := q.Candidates(query, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Querier.Candidates allocates %.1f times per query, want 0", allocs)
+	}
+}
+
+// TestMultiProbe: a probe budget of p probes exactly the first p bands —
+// the candidate set grows monotonically with p and reaches the full
+// Candidates set at p = Bands (0 and out-of-range budgets mean all).
+func TestMultiProbe(t *testing.T) {
+	p := Params{Bands: 8, Rows: 2}
+	ix, _ := New(p)
+	rng := hashing.NewSplitMix64(11)
+	base := make([]uint64, p.SignatureLen())
+	for i := range base {
+		base[i] = rng.Uint64()
+	}
+	// Item i shares exactly band i with the query (other entries perturbed),
+	// so probing the first k bands retrieves exactly items 0..k-1.
+	for id := 0; id < p.Bands; id++ {
+		sig := make([]uint64, len(base))
+		for i := range sig {
+			sig[i] = rng.Uint64()
+		}
+		copy(sig[id*p.Rows:(id+1)*p.Rows], base[id*p.Rows:(id+1)*p.Rows])
+		if err := ix.Insert(id, sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := ix.NewQuerier()
+	for probes := 1; probes <= p.Bands; probes++ {
+		got, err := q.Candidates(base, probes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != probes {
+			t.Fatalf("probes=%d: %d candidates, want %d (%v)", probes, len(got), probes, got)
+		}
+		for _, id := range got {
+			if id >= probes {
+				t.Fatalf("probes=%d retrieved item %d, which only shares band %d", probes, id, id)
+			}
+		}
+	}
+	full, _ := q.Candidates(base, 0)
+	if len(full) != p.Bands {
+		t.Fatalf("probes=0 (all bands): %d candidates, want %d", len(full), p.Bands)
+	}
+	over, _ := q.Candidates(base, p.Bands+5)
+	if len(over) != p.Bands {
+		t.Fatalf("probes>Bands: %d candidates, want %d", len(over), p.Bands)
+	}
+}
+
+// TestSCurveRetrievalRate measures the retrieval rate of Candidates
+// against signatures whose entries match the query's independently with
+// probability J — by construction the per-entry collision probability of
+// minwise signatures at Jaccard J — and brackets it against the S-curve
+// 1 − (1 − J^rows)^bands. Seeded and deterministic.
+func TestSCurveRetrievalRate(t *testing.T) {
+	p := Params{Bands: 8, Rows: 4}
+	const items = 4000
+	rng := hashing.NewSplitMix64(1234)
+	query := make([]uint64, p.SignatureLen())
+	for i := range query {
+		query[i] = rng.Uint64()
+	}
+	for _, J := range []float64{0.95, 0.8, 0.6, 0.4, 0.2} {
+		ix, _ := New(p)
+		sig := make([]uint64, p.SignatureLen())
+		for id := 0; id < items; id++ {
+			for i := range sig {
+				if rng.Float64() < J {
+					sig[i] = query[i]
+				} else {
+					sig[i] = rng.Uint64()
+				}
+			}
+			if err := ix.Insert(id, sig); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cands, err := ix.Candidates(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := float64(len(cands)) / items
+		want := p.RetrievalProbability(J, 0)
+		// Binomial noise at n=4000 is σ ≤ 0.008; 0.04 is a 5σ bracket.
+		if math.Abs(rate-want) > 0.04 {
+			t.Errorf("J=%.2f: retrieval rate %.3f, S-curve predicts %.3f", J, rate, want)
+		}
+		// The multi-probe budget follows the same curve with bands=probes.
+		q := ix.NewQuerier()
+		half, err := q.Candidates(query, p.Bands/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		halfRate := float64(len(half)) / items
+		halfWant := p.RetrievalProbability(J, p.Bands/2)
+		if math.Abs(halfRate-halfWant) > 0.04 {
+			t.Errorf("J=%.2f probes=%d: retrieval rate %.3f, S-curve predicts %.3f",
+				J, p.Bands/2, halfRate, halfWant)
+		}
+	}
+}

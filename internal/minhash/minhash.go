@@ -202,8 +202,12 @@ func (s *Sketch) StorageWords() float64 {
 // Signature returns the per-sample minimum hash values as an LSH
 // signature: entries of two signatures built with the same Params collide
 // with probability equal to the Jaccard similarity of the supports. Empty
-// sketches return nil.
+// sketches return nil — an all-empty column has no support to band, and a
+// sentinel signature would collide with every other empty column's.
 func (s *Sketch) Signature() []uint64 {
+	if s.empty {
+		return nil
+	}
 	return append([]uint64(nil), s.hashes...)
 }
 

@@ -1,0 +1,331 @@
+package ipsketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/hashing"
+	"repro/internal/lsh"
+)
+
+// This file is the sublinear candidate path of SketchIndex: BuildLSH
+// bands every entry's key-sketch signature into an internal/lsh index at
+// the same time the columnar view is built (the catalog does both per
+// copy-on-write publish), and SearchTopKLSH gathers band candidates for a
+// query and exact-rescores only those entries with the same columnar
+// kernel / decoded scorers, heap, and (score, ent, col) tie-break order
+// as the full scan. Whenever the candidate set contains the true top k
+// (recall@k = 1) the ranking is therefore bit-identical to
+// SearchTopKStats — approximation only ever drops candidates, it never
+// perturbs a score.
+
+// LSHParams configures the banded candidate index: signatures of length
+// Bands×Rows are split into Bands bands of Rows entries, and two columns
+// become candidates when any band matches exactly. See internal/lsh for
+// the S-curve analysis.
+type LSHParams struct {
+	Bands int
+	Rows  int
+}
+
+// Validate reports whether the parameters are usable.
+func (p LSHParams) Validate() error { return p.internal().Validate() }
+
+// SignatureLen returns the required signature length Bands×Rows. The
+// sketch's sample count M must be at least this for its columns to be
+// banded (longer signatures are truncated to the first Bands×Rows
+// entries).
+func (p LSHParams) SignatureLen() int { return p.internal().SignatureLen() }
+
+// Threshold returns the approximate Jaccard threshold of the banding
+// S-curve, (1/Bands)^(1/Rows).
+func (p LSHParams) Threshold() float64 { return p.internal().Threshold() }
+
+// RetrievalProbability returns 1 − (1 − j^Rows)^probes, the probability
+// that a pair of (weighted) Jaccard similarity j becomes a candidate when
+// the first probes bands are probed (probes ≤ 0 or > Bands means all).
+func (p LSHParams) RetrievalProbability(j float64, probes int) float64 {
+	return p.internal().RetrievalProbability(j, probes)
+}
+
+func (p LSHParams) internal() lsh.Params { return lsh.Params{Bands: p.Bands, Rows: p.Rows} }
+
+// ErrNoLSHIndex reports an lsh-mode search against an index that has no
+// banded view (BuildLSH was never run, or mutation invalidated it).
+var ErrNoLSHIndex = errors.New("ipsketch: index has no LSH view")
+
+// lshView is the banded candidate index of one snapshot, keyed by entry
+// position. Immutable after buildLSHView; concurrent searches share it,
+// each holding its own lsh.Querier.
+type lshView struct {
+	params lsh.Params
+	index  *lsh.Index
+	// unindexed lists entry positions (ascending) that could not be
+	// banded — non-signature methods or signatures shorter than
+	// Bands×Rows. They are exact-rescored on every lsh-mode search, so an
+	// unbandable entry is never silently invisible. Empty-sketch entries
+	// (nil signature) are deliberately absent from both sides: an empty
+	// key column joins nothing and must not wildcard-match every query.
+	unindexed []int
+}
+
+// BuildLSH bands the index's entries into an LSH candidate view and
+// returns the number of entries indexed. The catalog calls this at every
+// copy-on-write publish, right after BuildColumnar; Add and Remove
+// invalidate the view (lsh-mode searches fail with ErrNoLSHIndex until
+// the next build). Entries whose method has no signature, or whose
+// signature is shorter than p.SignatureLen(), fall into the always-
+// rescored unindexed set; entries with empty key sketches are skipped.
+func (ix *SketchIndex) BuildLSH(p LSHParams) (int, error) {
+	lv, err := buildLSHView(ix.entries, p.internal())
+	if err != nil {
+		return 0, err
+	}
+	ix.lshView = lv
+	return lv.index.Len(), nil
+}
+
+// HasLSH reports whether the index currently holds a banded view.
+func (ix *SketchIndex) HasLSH() bool { return ix.lshView != nil }
+
+// LSHParams returns the banding parameters of the current view, if any.
+func (ix *SketchIndex) LSHParams() (LSHParams, bool) {
+	if ix.lshView == nil {
+		return LSHParams{}, false
+	}
+	return LSHParams{Bands: ix.lshView.params.Bands, Rows: ix.lshView.params.Rows}, true
+}
+
+func buildLSHView(entries []*TableSketch, p lsh.Params) (*lshView, error) {
+	index, err := lsh.New(p)
+	if err != nil {
+		return nil, err
+	}
+	lv := &lshView{params: p, index: index}
+	sigLen := p.SignatureLen()
+	for ent, e := range entries {
+		if e == nil || e.key == nil {
+			continue
+		}
+		sig, err := e.key.LSHSignature()
+		if err != nil {
+			// Non-bandable method (or foreign payload): exact-rescore it.
+			lv.unindexed = append(lv.unindexed, ent)
+			continue
+		}
+		if sig == nil {
+			// Empty key sketch: joins nothing, bands nothing. Skipped, per
+			// the empty-signature contract.
+			continue
+		}
+		if len(sig) < sigLen {
+			lv.unindexed = append(lv.unindexed, ent)
+			continue
+		}
+		if err := index.Insert(ent, sig[:sigLen]); err != nil {
+			return nil, fmt.Errorf("ipsketch: banding entry %d (%s): %w", ent, e.Name, err)
+		}
+	}
+	return lv, nil
+}
+
+// SearchTopKLSH is SearchTopK routed through the banded candidate index:
+// only band candidates of the query (plus unbandable entries) are scored.
+// probes ≤ 0 probes every band; 1 ≤ probes < Bands trades recall for
+// probe cost along 1 − (1 − J^Rows)^probes.
+func (ix *SketchIndex) SearchTopKLSH(query *TableSketch, queryCol string, by RankBy, minJoinSize float64, k, probes int) ([]SearchResult, error) {
+	res, _, err := ix.SearchTopKLSHStats(query, queryCol, by, minJoinSize, k, probes)
+	return res, err
+}
+
+// SearchTopKLSHStats is SearchTopKLSH that also reports scan counters,
+// including the banded stage's probe and candidate counts. The rescoring
+// reuses the full scan's kernels and ordering, so results are
+// bit-identical to SearchTopKStats whenever the candidate set contains
+// the true top k. An empty query sketch yields zero band candidates (the
+// unindexed entries are still scored).
+func (ix *SketchIndex) SearchTopKLSHStats(query *TableSketch, queryCol string, by RankBy, minJoinSize float64, k, probes int) ([]SearchResult, ScanStats, error) {
+	var stats ScanStats
+	if query == nil {
+		return nil, stats, errors.New("ipsketch: nil query sketch")
+	}
+	switch by {
+	case RankByJoinSize, RankByAbsCorrelation, RankByAbsInnerProduct:
+	default:
+		return nil, stats, fmt.Errorf("ipsketch: unknown ranking %d", int(by))
+	}
+	lv := ix.lshView
+	if lv == nil {
+		return nil, stats, ErrNoLSHIndex
+	}
+	if k == 0 {
+		return nil, stats, nil
+	}
+	if query.key == nil {
+		return nil, stats, errors.New("ipsketch: lsh search: query has no key sketch")
+	}
+	qsig, err := query.key.LSHSignature()
+	if err != nil {
+		return nil, stats, fmt.Errorf("ipsketch: lsh search: %w", err)
+	}
+
+	// Gather band candidates. A nil query signature (empty key sketch)
+	// matches nothing — the scan covers only the unindexed entries.
+	var cands []int
+	sigLen := lv.params.SignatureLen()
+	if qsig != nil {
+		stats.LSHProbes = int64(lv.params.ClampProbes(probes))
+		if len(qsig) < sigLen {
+			return nil, stats, fmt.Errorf("ipsketch: lsh search: query signature has %d entries, banding needs %d", len(qsig), sigLen)
+		}
+		got, err := lv.index.NewQuerier().Candidates(qsig[:sigLen], probes)
+		if err != nil {
+			return nil, stats, fmt.Errorf("ipsketch: lsh search: %w", err)
+		}
+		cands = got // owned: the Querier is local and issues no further queries
+		sort.Ints(cands)
+	}
+	stats.LSHCandidates = int64(len(cands))
+
+	// Merge the sorted candidate and unindexed entry lists into one
+	// ascending scan list, so worker sharding and tie-breaking see entry
+	// positions in the same order as the full scan.
+	ents := make([]int, 0, len(cands)+len(lv.unindexed))
+	for i, j := 0, 0; i < len(cands) || j < len(lv.unindexed); {
+		switch {
+		case j == len(lv.unindexed) || (i < len(cands) && cands[i] < lv.unindexed[j]):
+			ents = append(ents, cands[i])
+			i++
+		default:
+			ents = append(ents, lv.unindexed[j])
+			j++
+		}
+	}
+
+	prechecked := ix.strict && ix.pin != nil && query.CompatibleWith(ix.pin) == nil
+	view := ix.view
+	var scan columnarScan
+	if view != nil {
+		scan = view.prepare(query, queryCol)
+	}
+
+	workers := hashing.WorkerCount(len(ents))
+	shards := make([]searchShard, workers)
+	scanStart := time.Now()
+	hashing.ParallelWorkers(len(ents), workers, func(w, lo, hi int) {
+		sh := &shards[w]
+		sh.k = k
+		stageStart := time.Now()
+		var tstats [3]float64
+		var cstats []float64
+		for _, ent := range ents[lo:hi] {
+			cand := ix.entries[ent]
+			if cand.Name == query.Name {
+				continue
+			}
+			if scan != nil && view.packed[ent] {
+				// Packed rescore: the kernels over a single table's range
+				// produce the same floats as the full range scan (each
+				// table's stats depend only on its own slice), so scores
+				// stay bit-identical to SearchTopKStats.
+				t := sort.SearchInts(view.ents, ent)
+				scan.scanTables(t, t+1, tstats[:])
+				cLo, cHi := view.colOff[t], view.colOff[t+1]
+				if need := 3 * (cHi - cLo); cap(cstats) < need {
+					cstats = make([]float64, need)
+				}
+				cstats = cstats[:3*(cHi-cLo)]
+				scan.scanColumns(cLo, cHi, cstats)
+				for col, colName := range cand.Columns() {
+					row := 3 * col
+					st := assembleJoinStats(tstats[0], tstats[1], cstats[row], tstats[2], cstats[row+1], cstats[row+2])
+					sh.stats.Candidates++
+					sh.stats.Columnar++
+					if st.Size < minJoinSize {
+						sh.stats.Pruned++
+						continue
+					}
+					score := rankScore(by, st)
+					if math.IsNaN(score) {
+						continue
+					}
+					sh.add(scored{
+						res: SearchResult{Table: cand.Name, Column: colName, Score: score, Stats: st},
+						ent: ent, col: col,
+					})
+				}
+				continue
+			}
+			for col, colName := range cand.Columns() {
+				st, err := estimateJoinStats(query, queryCol, cand, colName, prechecked)
+				if err != nil {
+					sh.fail(fmt.Errorf("ipsketch: searching %s.%s: %w", cand.Name, colName, err), ent, col)
+					continue
+				}
+				sh.stats.Candidates++
+				sh.stats.Fallback++
+				if st.Size < minJoinSize {
+					sh.stats.Pruned++
+					continue
+				}
+				score := rankScore(by, st)
+				if math.IsNaN(score) {
+					continue
+				}
+				sh.add(scored{
+					res: SearchResult{Table: cand.Name, Column: colName, Score: score, Stats: st},
+					ent: ent, col: col,
+				})
+			}
+		}
+		// Rescoring is one stage; attribute it to the path that ran it.
+		elapsed := time.Since(stageStart).Nanoseconds()
+		if scan != nil {
+			sh.stats.ColumnarNanos += elapsed
+		} else {
+			sh.stats.FallbackNanos += elapsed
+		}
+	})
+	stats.ScanNanos = time.Since(scanStart).Nanoseconds()
+
+	var firstErr *searchShard
+	total := 0
+	for i := range shards {
+		sh := &shards[i]
+		stats.Add(sh.stats)
+		total += len(sh.items)
+		if sh.err == nil {
+			continue
+		}
+		if firstErr == nil || sh.errEnt < firstErr.errEnt ||
+			(sh.errEnt == firstErr.errEnt && sh.errCol < firstErr.errCol) {
+			firstErr = sh
+		}
+	}
+	if firstErr != nil {
+		return nil, stats, firstErr.err
+	}
+
+	mergeStart := time.Now()
+	merged := make([]scored, 0, total)
+	for i := range shards {
+		merged = append(merged, shards[i].items...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].better(merged[j]) })
+	if k >= 0 && len(merged) > k {
+		merged = merged[:k]
+	}
+	if len(merged) == 0 {
+		stats.MergeNanos = time.Since(mergeStart).Nanoseconds()
+		return nil, stats, nil
+	}
+	out := make([]SearchResult, len(merged))
+	for i, c := range merged {
+		out[i] = c.res
+	}
+	stats.MergeNanos = time.Since(mergeStart).Nanoseconds()
+	return out, stats, nil
+}

@@ -122,6 +122,16 @@ type SearchRequest struct {
 	RankBy    string        `json:"rank_by"`                 // see ParseRankBy
 	MinJoin   float64       `json:"min_join_size,omitempty"` // candidates below are skipped
 	K         *int          `json:"k,omitempty"`             // nil = full ranking; 0 = none
+	// Mode selects the scan strategy: SearchModeFull (the default, "")
+	// scores every catalog entry; SearchModeLSH gathers banded candidates
+	// and exact-rescores only those — sublinear, with recall governed by
+	// the server's banding parameters and the probe budget. Requires the
+	// server to run with LSH enabled (-lsh-bands/-lsh-rows); 400 otherwise.
+	Mode string `json:"mode,omitempty"`
+	// Probes bounds how many bands an lsh-mode search probes: 0 means the
+	// server's default (all bands unless -lsh-probes narrows it); 1..bands
+	// trades recall for probe cost. Ignored in full mode.
+	Probes int `json:"probes,omitempty"`
 	// LocalOnly answers from this node's own catalog even in cluster
 	// mode. The scatter-gather coordinator sets it on the per-peer
 	// sub-queries (so a fan-out can never fan out again); callers may set
@@ -252,6 +262,11 @@ type ScanSearchStats struct {
 	Pruned     int64 `json:"pruned"`
 	Columnar   int64 `json:"columnar"`
 	Fallback   int64 `json:"fallback"`
+	// LSHProbes and LSHCandidates aggregate the banded candidate stage of
+	// lsh-mode searches (bands probed, candidate entries gathered before
+	// exact rescoring); zero until the first lsh-mode search.
+	LSHProbes     int64 `json:"lsh_probes"`
+	LSHCandidates int64 `json:"lsh_candidates"`
 }
 
 // StatsResponse is the /statsz body: a frozen JSON surface giving
@@ -435,6 +450,26 @@ func ParseRankBy(s string) (ipsketch.RankBy, error) {
 		return ipsketch.RankByAbsInnerProduct, nil
 	}
 	return 0, fmt.Errorf("service: unknown rank_by %q (want join_size, abs_correlation, or abs_inner_product)", s)
+}
+
+// Search modes (SearchRequest.Mode).
+const (
+	// SearchModeFull scans every catalog entry (the default).
+	SearchModeFull = "full"
+	// SearchModeLSH gathers banded candidates and exact-rescores them.
+	SearchModeLSH = "lsh"
+)
+
+// ParseSearchMode maps a wire mode name ("" = full) to its canonical
+// constant.
+func ParseSearchMode(s string) (string, error) {
+	switch s {
+	case "", SearchModeFull:
+		return SearchModeFull, nil
+	case SearchModeLSH:
+		return SearchModeLSH, nil
+	}
+	return "", fmt.Errorf("service: unknown search mode %q (want full or lsh)", s)
 }
 
 // RankByName is the wire name of a ranking statistic (inverse of

@@ -544,6 +544,30 @@ func (c *Client) SearchSketch(ctx context.Context, qSk *ipsketch.TableSketch, co
 	return c.Search(ctx, req)
 }
 
+// SearchSketchLSH is SearchSketch through the daemon's banded candidate
+// index (mode=lsh): sublinear candidate generation followed by exact
+// rescoring. probes bounds how many bands are inspected (0 = the
+// server's default budget). The daemon must run with -lsh-bands and
+// -lsh-rows; otherwise the request fails with a 400 *Error.
+func (c *Client) SearchSketchLSH(ctx context.Context, qSk *ipsketch.TableSketch, column string, by ipsketch.RankBy, minJoinSize float64, k, probes int) ([]ipsketch.SearchResult, error) {
+	blob, err := qSk.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	req := service.SearchRequest{
+		SketchB64: base64.StdEncoding.EncodeToString(blob),
+		Column:    column,
+		RankBy:    service.RankByName(by),
+		MinJoin:   minJoinSize,
+		Mode:      service.SearchModeLSH,
+		Probes:    probes,
+	}
+	if k >= 0 {
+		req.K = &k
+	}
+	return c.Search(ctx, req)
+}
+
 // Estimate returns the pairwise join statistics of two cataloged tables.
 func (c *Client) Estimate(ctx context.Context, req service.EstimateRequest) (ipsketch.JoinStats, error) {
 	var out service.EstimateResponse

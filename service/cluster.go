@@ -402,7 +402,7 @@ type peerSearchResult struct {
 // are skipped (graceful degradation); failed or skipped nodes are
 // reported in the envelope, or turn the whole answer into a typed 503
 // in strict mode.
-func (s *Server) scatterSearch(ctx context.Context, qSk *ipsketch.TableSketch, req *SearchRequest, by ipsketch.RankBy, k int) (*SearchResponse, ipsketch.ScanStats, error, int) {
+func (s *Server) scatterSearch(ctx context.Context, qSk *ipsketch.TableSketch, req *SearchRequest, by ipsketch.RankBy, k int, mode string, probes int) (*SearchResponse, ipsketch.ScanStats, error, int) {
 	cs := s.cluster
 	cs.fanouts.Add(1)
 	// An inline query's sketch is deliberately unnamed (the empty name
@@ -429,6 +429,10 @@ func (s *Server) scatterSearch(ctx context.Context, qSk *ipsketch.TableSketch, r
 		MinJoin:   req.MinJoin,
 		K:         req.K,
 		LocalOnly: true,
+		// The coordinator resolves the probe default once, so every peer
+		// probes identically even if defaults were to differ per node.
+		Mode:   mode,
+		Probes: probes,
 	})
 	if err != nil {
 		return nil, ipsketch.ScanStats{}, err, http.StatusInternalServerError
@@ -445,7 +449,7 @@ func (s *Server) scatterSearch(ctx context.Context, qSk *ipsketch.TableSketch, r
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				hits, localScan, err := s.searchLocal(qSk, req.Column, by, req.MinJoin, k)
+				hits, localScan, err := s.searchLocal(qSk, req.Column, by, req.MinJoin, k, mode, probes)
 				results[i].hits, results[i].err = hits, err
 				scanMu.Lock()
 				scan.Add(localScan)
@@ -554,10 +558,18 @@ func (cs *clusterState) searchPeer(ctx context.Context, peer string, body []byte
 	return out.Results, nil
 }
 
-// searchLocal runs the catalog search and converts to wire hits; shared
-// by the plain handler and the coordinator's self-leg.
-func (s *Server) searchLocal(qSk *ipsketch.TableSketch, column string, by ipsketch.RankBy, minJoin float64, k int) ([]SearchHit, ipsketch.ScanStats, error) {
-	results, scan, err := s.cat.SearchTopKStats(qSk, column, by, minJoin, k)
+// searchLocal runs the catalog search — full scan or banded candidate
+// mode — and converts to wire hits; shared by the plain handler and the
+// coordinator's self-leg.
+func (s *Server) searchLocal(qSk *ipsketch.TableSketch, column string, by ipsketch.RankBy, minJoin float64, k int, mode string, probes int) ([]SearchHit, ipsketch.ScanStats, error) {
+	var results []ipsketch.SearchResult
+	var scan ipsketch.ScanStats
+	var err error
+	if mode == SearchModeLSH {
+		results, scan, err = s.cat.SearchTopKLSHStats(qSk, column, by, minJoin, k, probes)
+	} else {
+		results, scan, err = s.cat.SearchTopKStats(qSk, column, by, minJoin, k)
+	}
 	if err != nil {
 		return nil, scan, err
 	}

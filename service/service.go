@@ -64,6 +64,15 @@ type Config struct {
 	// mutations are forwarded to their ring owner and /search fans out
 	// across every ready peer (see cluster.go and DESIGN.md §14).
 	Cluster *ClusterConfig
+	// LSHBands and LSHRows, when both positive, make the catalog maintain
+	// a banded candidate index (rebuilt at every publish) and enable
+	// mode=lsh searches. The sketch method must carry an LSH signature
+	// (MH or WMH) with at least LSHBands×LSHRows samples; New rejects the
+	// configuration otherwise.
+	LSHBands, LSHRows int
+	// LSHProbes is the default probe budget for mode=lsh searches that
+	// do not set their own (0 = probe every band).
+	LSHProbes int
 }
 
 // Server serves a sketch catalog over HTTP. Create with New, mount
@@ -107,6 +116,10 @@ type Server struct {
 
 	// Scan counters summed over every /search (see ScanSearchStats).
 	scanCandidates, scanPruned, scanColumnar, scanFallback atomic.Int64
+	scanLSHProbes, scanLSHCandidates                       atomic.Int64
+
+	// lsh is the banding configuration (nil when mode=lsh is disabled).
+	lsh *ipsketch.LSHParams
 
 	// cluster is non-nil in cluster mode (see cluster.go).
 	cluster *clusterState
@@ -134,6 +147,31 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DedupeCap <= 0 {
 		cfg.DedupeCap = DefaultDedupeCap
 	}
+	var lshParams *ipsketch.LSHParams
+	if cfg.LSHBands != 0 || cfg.LSHRows != 0 || cfg.LSHProbes != 0 {
+		p := ipsketch.LSHParams{Bands: cfg.LSHBands, Rows: cfg.LSHRows}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("service: lsh configuration: %w", err)
+		}
+		if cfg.LSHProbes < 0 || cfg.LSHProbes > p.Bands {
+			return nil, fmt.Errorf("service: lsh probe default %d out of range [0, %d]", cfg.LSHProbes, p.Bands)
+		}
+		// Validate banding against the method at boot — mode=lsh queries
+		// must never discover a non-bandable or too-small sketch at runtime.
+		ref, err := pinSketch(sketcher)
+		if err != nil {
+			return nil, err
+		}
+		sig, err := ref.KeySketch().LSHSignature()
+		if err != nil {
+			return nil, fmt.Errorf("service: lsh configuration: %w", err)
+		}
+		if len(sig) < p.SignatureLen() {
+			return nil, fmt.Errorf("service: lsh banding needs %d signature entries, %v sketches carry %d",
+				p.SignatureLen(), cfg.Sketch.Method, len(sig))
+		}
+		lshParams = &p
+	}
 	s := &Server{
 		cfg:       cfg,
 		sketcher:  sketcher,
@@ -141,6 +179,7 @@ func New(cfg Config) (*Server, error) {
 		ingestSem: make(chan struct{}, cfg.IngestLimit),
 		searchSem: make(chan struct{}, cfg.SearchLimit),
 		bootID:    newBootID(),
+		lsh:       lshParams,
 	}
 	s.dedupe.init(cfg.DedupeCap)
 	s.slowlog.init(cfg.SlowLogSize, cfg.SlowLogThreshold)
@@ -149,6 +188,7 @@ func New(cfg Config) (*Server, error) {
 		Shards:          cfg.Shards,
 		Strict:          !cfg.Lax,
 		PublishObserver: s.metrics.catalogPublish,
+		LSH:             lshParams,
 	}
 	if cfg.WAL != nil {
 		catOpts.OnMutate = s.logMutation
@@ -771,6 +811,28 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, errors.New("service: missing query column"))
 		return
 	}
+	mode, err := ParseSearchMode(req.Mode)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	probes := 0
+	if mode == SearchModeLSH {
+		if s.lsh == nil {
+			s.writeError(w, http.StatusBadRequest,
+				errors.New("service: mode=lsh requires an LSH-enabled server (-lsh-bands/-lsh-rows)"))
+			return
+		}
+		probes = req.Probes
+		if probes < 0 || probes > s.lsh.Bands {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("service: probes %d out of range [0, %d]", probes, s.lsh.Bands))
+			return
+		}
+		if probes == 0 {
+			probes = s.cfg.LSHProbes // 0 = every band
+		}
+	}
 	qSk, err := s.querySketch(&req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -781,7 +843,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		k = *req.K
 	}
 	if s.cluster != nil && !req.LocalOnly {
-		resp, scan, serr, status := s.scatterSearch(r.Context(), qSk, &req, by, k)
+		resp, scan, serr, status := s.scatterSearch(r.Context(), qSk, &req, by, k, mode, probes)
 		if serr != nil {
 			if status == http.StatusServiceUnavailable {
 				w.Header().Set("Retry-After", "1")
@@ -792,10 +854,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.searches.Add(1)
-		s.scanCandidates.Add(scan.Candidates)
-		s.scanPruned.Add(scan.Pruned)
-		s.scanColumnar.Add(scan.Columnar)
-		s.scanFallback.Add(scan.Fallback)
+		s.addScanCounters(scan)
 		s.observeSearch(r.Context(), start, &req, k, len(resp.Results), scan)
 		if resp.NodesFailed > 0 {
 			w.Header().Set(HeaderPartialResults, "true")
@@ -803,22 +862,26 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, resp)
 		return
 	}
-	results, scan, err := s.cat.SearchTopKStats(qSk, req.Column, by, req.MinJoin, k)
+	hits, scan, err := s.searchLocal(qSk, req.Column, by, req.MinJoin, k, mode, probes)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.searches.Add(1)
+	s.addScanCounters(scan)
+	s.observeSearch(r.Context(), start, &req, k, len(hits), scan)
+	s.writeJSON(w, SearchResponse{Results: hits})
+}
+
+// addScanCounters folds one search's scan stats into the /statsz
+// aggregates.
+func (s *Server) addScanCounters(scan ipsketch.ScanStats) {
 	s.scanCandidates.Add(scan.Candidates)
 	s.scanPruned.Add(scan.Pruned)
 	s.scanColumnar.Add(scan.Columnar)
 	s.scanFallback.Add(scan.Fallback)
-	s.observeSearch(r.Context(), start, &req, k, len(results), scan)
-	hits := make([]SearchHit, len(results))
-	for i, r := range results {
-		hits[i] = hitFromResult(r)
-	}
-	s.writeJSON(w, SearchResponse{Results: hits})
+	s.scanLSHProbes.Add(scan.LSHProbes)
+	s.scanLSHCandidates.Add(scan.LSHCandidates)
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -928,10 +991,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.Searches > 0 {
 		resp.Scan = &ScanSearchStats{
-			Candidates: s.scanCandidates.Load(),
-			Pruned:     s.scanPruned.Load(),
-			Columnar:   s.scanColumnar.Load(),
-			Fallback:   s.scanFallback.Load(),
+			Candidates:    s.scanCandidates.Load(),
+			Pruned:        s.scanPruned.Load(),
+			Columnar:      s.scanColumnar.Load(),
+			Fallback:      s.scanFallback.Load(),
+			LSHProbes:     s.scanLSHProbes.Load(),
+			LSHCandidates: s.scanLSHCandidates.Load(),
 		}
 	}
 	if w := s.cfg.WAL; w != nil {

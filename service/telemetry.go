@@ -64,10 +64,12 @@ type serverMetrics struct {
 	stageFallback *telemetry.Histogram
 	stageMerge    *telemetry.Histogram
 
-	scanCandidates *telemetry.Counter
-	scanPruned     *telemetry.Counter
-	scanColumnar   *telemetry.Counter
-	scanFallback   *telemetry.Counter
+	scanCandidates    *telemetry.Counter
+	scanPruned        *telemetry.Counter
+	scanColumnar      *telemetry.Counter
+	scanFallback      *telemetry.Counter
+	scanLSHProbes     *telemetry.Counter
+	scanLSHCandidates *telemetry.Counter
 
 	walAppend *telemetry.Histogram
 	walFsync  *telemetry.Histogram
@@ -100,6 +102,8 @@ func (s *Server) initMetrics() {
 	m.scanPruned = reg.Counter("sketchd_scan_pruned_total", "Scored candidates dropped by the min_join_size filter.")
 	m.scanColumnar = reg.Counter("sketchd_scan_columnar_total", "Candidates scored by the packed columnar kernel.")
 	m.scanFallback = reg.Counter("sketchd_scan_fallback_total", "Candidates scored by the decoded fallback path.")
+	m.scanLSHProbes = reg.Counter("sketchd_scan_lsh_probes_total", "LSH bands probed across every mode=lsh /search.")
+	m.scanLSHCandidates = reg.Counter("sketchd_scan_lsh_candidates_total", "Band candidate entries gathered for exact rescoring across every mode=lsh /search.")
 
 	m.walAppend = reg.Histogram("sketchd_wal_append_seconds",
 		"WAL Append latency: frame assembly, write(2), and any policy fsync.", nil)
@@ -244,6 +248,8 @@ func (s *Server) observeSearch(ctx context.Context, start time.Time, req *Search
 	m.scanPruned.Add(scan.Pruned)
 	m.scanColumnar.Add(scan.Columnar)
 	m.scanFallback.Add(scan.Fallback)
+	m.scanLSHProbes.Add(scan.LSHProbes)
+	m.scanLSHCandidates.Add(scan.LSHCandidates)
 
 	sl := &s.slowlog
 	if total < sl.thresholdNanos() {

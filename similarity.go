@@ -1,6 +1,9 @@
 package ipsketch
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Beyond inner products, the hash-based sketches natively estimate set
 // similarities and cardinalities — the primitives of joinability search
@@ -31,6 +34,32 @@ func EstimateJaccard(a, b *Sketch) (float64, error) {
 		return 0, err
 	}
 	return se.estimateJaccard(a.payload, b.payload)
+}
+
+// ErrNoSignature reports that a sketch's method cannot produce an LSH
+// signature (its samples are not minwise, so entry collisions carry no
+// similarity semantics).
+var ErrNoSignature = errors.New("ipsketch: method has no LSH signature")
+
+// LSHSignature returns the sketch's banding signature: per-sample minima
+// whose entries collide across two sketches of the same configuration
+// with probability equal to the (weighted) Jaccard similarity, the input
+// contract of internal/lsh. Supported by MethodMH and MethodWMH (all
+// variants). An empty sketch returns (nil, nil) — empty columns cannot be
+// banded and must be skipped by indexers, not treated as wildcards.
+func (sk *Sketch) LSHSignature() ([]uint64, error) {
+	if sk == nil {
+		return nil, errNilSketch
+	}
+	be, err := backendFor(sk.method)
+	if err != nil {
+		return nil, err
+	}
+	ss, ok := be.(signatureSketcher)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoSignature, sk.method)
+	}
+	return ss.signature(sk.payload)
 }
 
 // EstimateSupportSize estimates the number of non-zero entries of the
